@@ -1,0 +1,313 @@
+// Command curvedraw renders the paper's illustrative figures as SVG (and
+// ASCII for the curves):
+//
+//	-fig 1   the cubed-sphere mesh, orthographic projection (paper Fig. 1)
+//	-fig 2   Hilbert curve refinement, level 1 -> 2 (paper Fig. 2)
+//	-fig 4   the level-1 meandering Peano curve (paper Fig. 4)
+//	-fig 5   the level-1 Hilbert-Peano curve on 6x6 (paper Fig. 5)
+//	-fig 6   a level-1 Hilbert curve over the whole cubed-sphere, flattened
+//	         strip plus orthographic projection (paper Fig. 6)
+//
+// Usage: curvedraw -fig 6 -o fig6.svg    (omit -o to print ASCII art)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"sfccube/internal/mesh"
+	"sfccube/internal/sfc"
+)
+
+func main() {
+	fig := flag.Int("fig", 6, "figure number: 1, 2, 4, 5, 6")
+	out := flag.String("o", "", "output SVG file (default: ASCII to stdout)")
+	ne := flag.Int("ne", 8, "mesh resolution for figure 1")
+	flag.Parse()
+
+	svg, ascii, err := render(*fig, *ne)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "curvedraw:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Print(ascii)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "curvedraw:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func render(fig, ne int) (svg, ascii string, err error) {
+	switch fig {
+	case 1:
+		return figMesh(ne)
+	case 2:
+		return figCurve(sfc.Schedule{sfc.Hilbert}, sfc.Schedule{sfc.Hilbert, sfc.Hilbert},
+			"Figure 2: Hilbert curve, level 1 (left) and level 2 (right)")
+	case 4:
+		return figCurve(sfc.Schedule{sfc.Peano}, nil,
+			"Figure 4: level-1 meandering Peano curve")
+	case 5:
+		return figCurve(sfc.Schedule{sfc.Peano, sfc.Hilbert}, nil,
+			"Figure 5: level-1 Hilbert-Peano curve (36 sub-domains)")
+	case 6:
+		return figCube(2)
+	}
+	return "", "", fmt.Errorf("unknown figure %d (want 1, 2, 4, 5 or 6)", fig)
+}
+
+const (
+	inkMain  = "#0b0b0b"
+	inkMuted = "#52514e"
+	surface  = "#fcfcfb"
+	curveCol = "#2a78d6"
+	gridCol  = "#d7d6d2"
+)
+
+// asciiCurve draws the visit order of a curve as a character grid.
+func asciiCurve(c *sfc.Curve) string {
+	p := c.Side()
+	var b strings.Builder
+	for y := p - 1; y >= 0; y-- {
+		for x := 0; x < p; x++ {
+			fmt.Fprintf(&b, "%4d", c.Rank(x, y))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// svgCurve renders one curve panel at the given offset and cell size.
+func svgCurve(b *strings.Builder, c *sfc.Curve, ox, oy, cell float64) {
+	p := c.Side()
+	w := float64(p) * cell
+	// grid
+	for i := 0; i <= p; i++ {
+		t := float64(i) * cell
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`,
+			ox+t, oy, ox+t, oy+w, gridCol)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`,
+			ox, oy+t, ox+w, oy+t, gridCol)
+	}
+	// curve polyline (flip y so cell (0,0) is bottom-left)
+	var path strings.Builder
+	for r := 0; r < c.Len(); r++ {
+		pt := c.At(r)
+		cmd := "L"
+		if r == 0 {
+			cmd = "M"
+		}
+		fmt.Fprintf(&path, "%s%.1f %.1f ", cmd,
+			ox+(float64(pt.X)+0.5)*cell, oy+(float64(p-1-pt.Y)+0.5)*cell)
+	}
+	fmt.Fprintf(b, `<path d="%s" fill="none" stroke="%s" stroke-width="2.5" stroke-linejoin="round"/>`,
+		path.String(), curveCol)
+	// entry/exit markers
+	e0, e1 := c.Endpoints()
+	for i, e := range []sfc.Point{e0, e1} {
+		fill := surface
+		if i == 1 {
+			fill = curveCol
+		}
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="5" fill="%s" stroke="%s" stroke-width="2"/>`,
+			ox+(float64(e.X)+0.5)*cell, oy+(float64(p-1-e.Y)+0.5)*cell, fill, curveCol)
+	}
+}
+
+func figCurve(s1, s2 sfc.Schedule, title string) (string, string, error) {
+	c1 := sfc.Generate(s1)
+	panels := []*sfc.Curve{c1}
+	if s2 != nil {
+		panels = append(panels, sfc.Generate(s2))
+	}
+	const cell, margin, top = 40.0, 30.0, 50.0
+	wTotal := margin
+	hMax := 0.0
+	for _, c := range panels {
+		wTotal += float64(c.Side())*cell + margin
+		if h := float64(c.Side()) * cell; h > hMax {
+			hMax = h
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" font-family="system-ui, sans-serif">`,
+		wTotal, hMax+top+margin)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="%s"/>`, surface)
+	fmt.Fprintf(&b, `<text x="%.0f" y="30" font-size="15" fill="%s">%s</text>`, margin, inkMain, title)
+	x := margin
+	for _, c := range panels {
+		svgCurve(&b, c, x, top, cell)
+		x += float64(c.Side())*cell + margin
+	}
+	b.WriteString("</svg>")
+
+	var a strings.Builder
+	fmt.Fprintf(&a, "%s\n\n", title)
+	for _, c := range panels {
+		a.WriteString(asciiCurve(c))
+		a.WriteByte('\n')
+	}
+	return b.String(), a.String(), nil
+}
+
+// project maps a 3D point (unit-sphere scale) to screen coordinates with a
+// fixed orthographic view: rotate 35 degrees in longitude, tilt 25 degrees,
+// look down the +x axis of the rotated frame. depth > 0 means front-facing.
+func project(p mesh.Vec3) (x, y, depth float64) {
+	lon, lat := 35*math.Pi/180, 25*math.Pi/180
+	cl, sl := math.Cos(lon), math.Sin(lon)
+	x1 := cl*p.X + sl*p.Y
+	y1 := -sl*p.X + cl*p.Y
+	z1 := p.Z
+	ct, st := math.Cos(lat), math.Sin(lat)
+	return y1, ct*z1 - st*x1, ct*x1 + st*z1
+}
+
+func figMesh(ne int) (string, string, error) {
+	m, err := mesh.New(ne)
+	if err != nil {
+		return "", "", err
+	}
+	const size = 520.0
+	scale := size / 2.4
+	cx, cy := size/2, size/2+20
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" font-family="system-ui, sans-serif">`, size, size+40)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="%s"/>`, surface)
+	fmt.Fprintf(&b, `<text x="20" y="28" font-size="15" fill="%s">Figure 1: the cubed-sphere, Ne=%d (%d elements)</text>`,
+		inkMain, ne, m.NumElems())
+	// Draw each element's outline; hidden (back) elements lighter.
+	for e := 0; e < m.NumElems(); e++ {
+		corners := m.ElemCorners(mesh.ElemID(e))
+		var path strings.Builder
+		var depth float64
+		for i, c := range corners {
+			px, py, d := project(c)
+			depth += d / 4
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, cx+px*scale, cy-py*scale)
+		}
+		path.WriteString("Z")
+		col, width := inkMuted, 1.0
+		if depth < 0 {
+			col, width = gridCol, 0.6
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`,
+			path.String(), col, width)
+	}
+	b.WriteString("</svg>")
+	ascii := fmt.Sprintf("Figure 1: cubed-sphere with Ne=%d: %d elements on 6 faces (use -o for SVG)\n",
+		ne, m.NumElems())
+	return b.String(), ascii, nil
+}
+
+func figCube(ne int) (string, string, error) {
+	m, err := mesh.New(ne)
+	if err != nil {
+		return "", "", err
+	}
+	sched, err := sfc.ScheduleFor(ne, sfc.PeanoFirst)
+	if err != nil {
+		return "", "", err
+	}
+	cc, err := sfc.NewCubeCurve(m, sched)
+	if err != nil {
+		return "", "", err
+	}
+
+	const cell, margin, top = 36.0, 30.0, 56.0
+	faceW := float64(ne) * cell
+	stripW := margin + 6*(faceW+10) + margin
+	sphereR := 150.0
+	height := top + faceW + 60 + 2*sphereR + margin
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" font-family="system-ui, sans-serif">`,
+		stripW, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="%s"/>`, surface)
+	fmt.Fprintf(&b, `<text x="%.0f" y="30" font-size="15" fill="%s">Figure 6: continuous curve over the cubed-sphere (flattened faces, then projection)</text>`,
+		margin, inkMain)
+
+	// Strip of faces in traversal order; the curve is drawn per face and the
+	// inter-face hop is dashed.
+	facePos := map[mesh.Face]int{}
+	for i, f := range cc.FacePath() {
+		facePos[f] = i
+	}
+	originX := func(f mesh.Face) float64 { return margin + float64(facePos[f])*(faceW+10) }
+	// grids + labels
+	for _, f := range cc.FacePath() {
+		ox := originX(f)
+		for i := 0; i <= ne; i++ {
+			t := float64(i) * cell
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`, ox+t, top, ox+t, top+faceW, gridCol)
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`, ox, top+t, ox+faceW, top+t, gridCol)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="12" fill="%s">face %v</text>`,
+			ox, top+faceW+16, inkMuted, f)
+	}
+	pos2d := func(id mesh.ElemID) (float64, float64) {
+		el := m.Elem(id)
+		ox := originX(el.Face)
+		return ox + (float64(el.I)+0.5)*cell, top + (float64(ne-1-el.J)+0.5)*cell
+	}
+	for r := 1; r < cc.Len(); r++ {
+		x0, y0 := pos2d(cc.At(r - 1))
+		x1, y1 := pos2d(cc.At(r))
+		dash := ""
+		if m.Elem(cc.At(r-1)).Face != m.Elem(cc.At(r)).Face {
+			dash = ` stroke-dasharray="5 4"`
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2.5"%s/>`,
+			x0, y0, x1, y1, curveCol, dash)
+	}
+
+	// Orthographic projection of the curve through element centres.
+	cx, cy := stripW/2, top+faceW+60+sphereR
+	fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="%s"/>`, cx, cy, sphereR, gridCol)
+	var front, back strings.Builder
+	prevVisible := false
+	for r := 0; r < cc.Len(); r++ {
+		px, py, d := project(m.ElemCenter(cc.At(r)))
+		x, y := cx+px*sphereR, cy-py*sphereR
+		visible := d >= 0
+		target := &back
+		if visible {
+			target = &front
+		}
+		if r == 0 || visible != prevVisible {
+			fmt.Fprintf(target, "M%.1f %.1f ", x, y)
+			// also continue the other path for continuity context
+		} else {
+			fmt.Fprintf(target, "L%.1f %.1f ", x, y)
+		}
+		prevVisible = visible
+	}
+	fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.2" stroke-dasharray="3 4"/>`, back.String(), inkMuted)
+	fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2.2"/>`, front.String(), curveCol)
+	b.WriteString("</svg>")
+
+	var a strings.Builder
+	a.WriteString("Figure 6: curve order over the flattened cube (face: elements in visit order)\n")
+	for _, f := range cc.FacePath() {
+		fmt.Fprintf(&a, "face %v:", f)
+		for r := 0; r < cc.Len(); r++ {
+			if m.Elem(cc.At(r)).Face == f {
+				el := m.Elem(cc.At(r))
+				fmt.Fprintf(&a, " (%d,%d)", el.I, el.J)
+			}
+		}
+		a.WriteByte('\n')
+	}
+	return b.String(), a.String(), nil
+}

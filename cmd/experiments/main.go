@@ -1,0 +1,118 @@
+// Command experiments regenerates every table and figure of Dennis (IPPS
+// 2003, "Partitioning with Space-Filling Curves on the Cubed-Sphere") from
+// the reproduction. Text output goes to stdout; -out writes CSV and SVG
+// artifacts.
+//
+// Usage:
+//
+//	experiments -run all            # everything
+//	experiments -run table2         # one experiment
+//	experiments -run fig7 -out out/ # with CSV + SVG artifacts
+//
+// Experiments: table1, table2, fig7, fig8, fig9, fig10, k1944,
+// ablation-order, ablation-corners, ablation-tv, ablation-orderings,
+// future-scaling, dynamic, fidelity, amr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sfccube/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (or 'all')")
+	out := flag.String("out", "", "directory for CSV/SVG artifacts (optional)")
+	seed := flag.Int64("seed", 1, "random seed for the METIS-style partitioners")
+	tvSeeds := flag.Int("tv-seeds", 5, "seed count for the TV anomaly ablation")
+	flag.Parse()
+
+	if err := runAll(*run, *out, *seed, *tvSeeds); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func runAll(run, out string, seed int64, tvSeeds int) error {
+	type experiment struct {
+		name string
+		fn   func() (any, error)
+	}
+	exps := []experiment{
+		{"table1", func() (any, error) { return experiments.Table1(), nil }},
+		{"table2", func() (any, error) { return experiments.Table2(seed) }},
+		{"fig7", func() (any, error) { return experiments.Fig7(seed) }},
+		{"fig8", func() (any, error) { return experiments.Fig8(seed) }},
+		{"fig9", func() (any, error) { return experiments.Fig9(seed) }},
+		{"fig10", func() (any, error) { return experiments.Fig10(seed) }},
+		{"k1944", func() (any, error) { return experiments.K1944(seed) }},
+		{"ablation-order", func() (any, error) { return experiments.AblationOrder(seed) }},
+		{"ablation-corners", func() (any, error) { return experiments.AblationCorners(seed) }},
+		{"ablation-tv", func() (any, error) { return experiments.AblationTV(tvSeeds) }},
+		{"ablation-orderings", func() (any, error) { return experiments.AblationOrderings(seed) }},
+		{"future-scaling", func() (any, error) { return experiments.FutureScaling(seed) }},
+		{"dynamic", func() (any, error) { return experiments.DynamicRepartition(seed) }},
+		{"fidelity", func() (any, error) { return experiments.ModelFidelity(seed) }},
+		{"amr", func() (any, error) { return experiments.AMRPartition(seed) }},
+	}
+	found := false
+	for _, ex := range exps {
+		if run != "all" && run != ex.name {
+			continue
+		}
+		found = true
+		result, err := ex.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex.name, err)
+		}
+		if err := emit(result, out); err != nil {
+			return fmt.Errorf("%s: %w", ex.name, err)
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown experiment %q", run)
+	}
+	return nil
+}
+
+func emit(result any, out string) error {
+	switch r := result.(type) {
+	case *experiments.Table:
+		fmt.Println(r.Render())
+		if out != "" {
+			if err := writeFile(out, r.Name+".csv", r.CSV()); err != nil {
+				return err
+			}
+		}
+	case *experiments.Figure:
+		fmt.Println(r.RenderTable())
+		fmt.Printf("SFC advantage over best METIS at the largest count: %.1f%%\n\n",
+			experiments.Advantage(r)*100)
+		if out != "" {
+			if err := writeFile(out, r.Name+".csv", r.CSV()); err != nil {
+				return err
+			}
+			if err := writeFile(out, r.Name+".svg", r.SVG()); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown result type %T", result)
+	}
+	return nil
+}
+
+func writeFile(dir, name, content string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}

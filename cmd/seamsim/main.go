@@ -1,0 +1,153 @@
+// Command seamsim runs the actual spectral element shallow-water substrate
+// (not the analytic machine model): it integrates Williamson test case 2 on
+// the cubed sphere with the elements distributed over in-process ranks
+// according to a chosen partition, then reports measured wall time, per-rank
+// communication volume, and the numerical error against the steady solution.
+//
+// Usage:
+//
+//	seamsim -ne 8 -degree 7 -ranks 8 -steps 20 -method sfc
+//	seamsim -ne 8 -ranks 8 -method kway    # compare partitioners
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"sfccube/internal/core"
+	"sfccube/internal/graph"
+	"sfccube/internal/mesh"
+	"sfccube/internal/metis"
+	"sfccube/internal/partition"
+	"sfccube/internal/seam"
+)
+
+func main() {
+	ne := flag.Int("ne", 4, "elements per cube-face edge")
+	degree := flag.Int("degree", 7, "polynomial degree (np = degree+1 GLL points)")
+	ranks := flag.Int("ranks", 4, "number of in-process ranks (goroutines)")
+	steps := flag.Int("steps", 20, "number of RK4 time steps")
+	method := flag.String("method", "sfc", "partitioner: sfc, rb, kway, tv, block")
+	seed := flag.Int64("seed", 1, "seed for the METIS-style partitioners")
+	flag.Parse()
+
+	if err := run(*ne, *degree, *ranks, *steps, *method, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "seamsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ne, degree, ranks, steps int, method string, seed int64) error {
+	g, err := seam.NewGrid(ne, degree, seam.EarthRadius, seam.EarthOmega)
+	if err != nil {
+		return err
+	}
+	sw, err := seam.NewShallowWater(g)
+	if err != nil {
+		return err
+	}
+	u0 := 2 * math.Pi * g.Radius / (12 * 86400)
+	wind, phi := seam.Williamson2(g.Radius, g.Omega, u0, 2.94e4)
+	sw.SetState(wind, phi)
+	dt := sw.MaxStableDt(0.4)
+
+	assign, err := assignment(method, ne, ranks, seed)
+	if err != nil {
+		return err
+	}
+	runner, err := seam.NewRunner(sw, assign, ranks)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("K=%d elements, np=%d GLL points, %d ranks (%s partition), dt=%.1f s\n",
+		g.NumElems(), g.Np, ranks, method, dt)
+	mass0 := sw.TotalMass()
+	elapsed := runner.Run(steps, dt)
+	mass1 := sw.TotalMass()
+
+	fmt.Printf("integrated %d steps (%.1f model hours) in %v (%.2f ms/step)\n",
+		steps, float64(steps)*dt/3600, elapsed.Round(1000),
+		elapsed.Seconds()*1e3/float64(steps))
+	fmt.Printf("Williamson-2 Phi L2 error: %.3e (steady solution; smaller is better)\n",
+		sw.PhiL2Error(phi))
+	fmt.Printf("mass conservation: relative drift %.3e\n",
+		math.Abs(mass1-mass0)/math.Abs(mass0))
+
+	owned := runner.NumOwned()
+	bytes := runner.BytesPerStep()
+	lb := partition.LoadBalanceInts(owned)
+	var minB, maxB int64 = math.MaxInt64, 0
+	for _, b := range bytes {
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	fmt.Printf("elements/rank: %d..%d, LB(nelemd)=%.4f\n", minInt(owned), maxInt(owned), lb)
+	fmt.Printf("comm bytes/rank/step: %d..%d, LB(spcv)=%.4f\n",
+		minB, maxB, partition.LoadBalanceInt64(bytes))
+	for rk := 0; rk < ranks && rk < 8; rk++ {
+		fmt.Printf("  rank %d: %d elements, %d bytes/step, busy %v\n",
+			rk, owned[rk], bytes[rk], runner.BusyTime[rk].Round(1000))
+	}
+	return nil
+}
+
+func assignment(method string, ne, ranks int, seed int64) ([]int32, error) {
+	switch method {
+	case "sfc":
+		res, err := core.PartitionCubedSphere(core.Config{Ne: ne, NProcs: ranks})
+		if err != nil {
+			return nil, err
+		}
+		return res.Partition.Assignment(), nil
+	case "rb", "kway", "tv":
+		m, err := mesh.New(ne)
+		if err != nil {
+			return nil, err
+		}
+		gr, err := graph.FromMesh(m, graph.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		mm := map[string]metis.Method{"rb": metis.RB, "kway": metis.KWay, "tv": metis.KWayVol}[method]
+		p, err := metis.Partition(gr, ranks, metis.Options{Method: mm, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return p.Assignment(), nil
+	case "block":
+		k := 6 * ne * ne
+		a := make([]int32, k)
+		for i := range a {
+			a[i] = int32(i * ranks / k)
+		}
+		return a, nil
+	}
+	return nil, fmt.Errorf("unknown method %q", method)
+}
+
+func minInt(s []int) int {
+	m := s[0]
+	for _, v := range s {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxInt(s []int) int {
+	m := s[0]
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

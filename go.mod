@@ -1,0 +1,3 @@
+module sfccube
+
+go 1.22

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sfccube/internal/mesh"
+	"sfccube/internal/partition"
+	"sfccube/internal/sfc"
+)
+
+func TestMigrationBetween(t *testing.T) {
+	a, _ := partition.FromAssignment([]int32{0, 0, 1, 1}, 2)
+	b, _ := partition.FromAssignment([]int32{0, 1, 1, 1}, 2)
+	m, err := MigrationBetween(a, b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Moved != 1 || m.MovedFraction != 0.25 || m.BytesMoved != 100 {
+		t.Errorf("migration = %+v", m)
+	}
+	c, _ := partition.FromAssignment([]int32{0, 1}, 2)
+	if _, err := MigrationBetween(a, c, 0); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestRepartitionerIdenticalWeightsNoMigration(t *testing.T) {
+	r, err := NewRepartitioner(8, sfc.PeanoFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mig, err := r.Update(48, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Moved != 0 {
+		t.Errorf("first update reported migration %d", mig.Moved)
+	}
+	_, mig, err = r.Update(48, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Moved != 0 {
+		t.Errorf("identical weights migrated %d elements", mig.Moved)
+	}
+}
+
+func TestRepartitionerSmallPerturbationSmallMigration(t *testing.T) {
+	const ne, nproc = 8, 48
+	r, err := NewRepartitioner(ne, sfc.PeanoFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 6 * ne * ne
+	w := make([]int64, k)
+	for i := range w {
+		w[i] = 10
+	}
+	if _, _, err := r.Update(nproc, w, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Perturb a single element's weight slightly.
+	w2 := append([]int64(nil), w...)
+	w2[100] = 12
+	_, mig, err := r.Update(nproc, w2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With remapping, a local perturbation must move only a small
+	// fraction of elements.
+	if mig.MovedFraction > 0.10 {
+		t.Errorf("tiny perturbation moved %.1f%% of elements", mig.MovedFraction*100)
+	}
+}
+
+func TestRepartitionerTracksMovingLoad(t *testing.T) {
+	const ne, nproc = 8, 24
+	r, err := NewRepartitioner(ne, sfc.PeanoFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mesh.MustNew(ne)
+	k := m.NumElems()
+	weightsAt := func(phase float64) []int64 {
+		w := make([]int64, k)
+		lon := 2 * math.Pi * phase
+		c := mesh.Vec3{X: math.Cos(lon), Y: math.Sin(lon), Z: 0}
+		for e := 0; e < k; e++ {
+			if m.ElemCenter(mesh.ElemID(e)).Dot(c) > math.Cos(math.Pi/6) {
+				w[e] = 5
+			} else {
+				w[e] = 1
+			}
+		}
+		return w
+	}
+	var worstLB float64
+	var meanMig float64
+	steps := 12
+	for s := 0; s < steps; s++ {
+		w := weightsAt(float64(s) / float64(steps))
+		p, mig, err := r.Update(nproc, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := partition.LoadBalanceInt64(p.WeightedCounts(func(v int) int32 { return int32(w[v]) }))
+		if lb > worstLB {
+			worstLB = lb
+		}
+		if s > 0 {
+			meanMig += mig.MovedFraction
+		}
+	}
+	meanMig /= float64(steps - 1)
+	// The repartitioner must keep the weighted balance reasonable at every
+	// step while moving much less than a from-scratch shuffle would.
+	if worstLB > 0.25 {
+		t.Errorf("worst weighted LB %.3f over the storm track", worstLB)
+	}
+	if meanMig > 0.5 {
+		t.Errorf("mean migration %.1f%% too high for incremental repartitioning", meanMig*100)
+	}
+}
+
+func TestRemapPreservesPartitionValidity(t *testing.T) {
+	prev, _ := partition.FromAssignment([]int32{0, 0, 1, 1, 2, 2}, 3)
+	cur, _ := partition.FromAssignment([]int32{2, 2, 0, 0, 1, 1}, 3)
+	remapToPrevious(prev, cur)
+	// After remapping, cur should exactly match prev (pure relabelling).
+	for v := 0; v < 6; v++ {
+		if cur.Part(v) != prev.Part(v) {
+			t.Fatalf("vertex %d: part %d, want %d", v, cur.Part(v), prev.Part(v))
+		}
+	}
+	// Still a valid partition with all parts non-empty.
+	for q, c := range cur.Counts() {
+		if c == 0 {
+			t.Errorf("part %d empty after remap", q)
+		}
+	}
+}
+
+func TestRepartitionerPartCountChange(t *testing.T) {
+	r, err := NewRepartitioner(4, sfc.PeanoFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Update(8, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Changing the part count resets migration tracking (no remap across
+	// different part counts).
+	p, mig, err := r.Update(16, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParts() != 16 {
+		t.Errorf("parts = %d", p.NumParts())
+	}
+	if mig.Moved != 0 {
+		t.Errorf("migration across part-count change should be zero, got %d", mig.Moved)
+	}
+}

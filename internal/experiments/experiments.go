@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"sfccube/internal/core"
+	"sfccube/internal/graph"
+	"sfccube/internal/machine"
+	"sfccube/internal/mesh"
+	"sfccube/internal/metis"
+	"sfccube/internal/partition"
+	"sfccube/internal/sfc"
+)
+
+// Method identifies a partitioning strategy in experiment outputs. The fixed
+// order (SFC, RB, KWAY, TV) also fixes the series colors of every figure.
+var methodNames = []string{"SFC", "RB", "KWAY", "TV"}
+
+// partitionWith runs one of the four strategies on the given mesh/graph.
+func partitionWith(method string, m *mesh.Mesh, g *graph.Graph, nproc int, seed int64) (*partition.Partition, error) {
+	switch method {
+	case "SFC":
+		res, err := core.PartitionCubedSphere(core.Config{Ne: m.Ne(), NProcs: nproc})
+		if err != nil {
+			return nil, err
+		}
+		return res.Partition, nil
+	case "RB":
+		return metis.Partition(g, nproc, metis.Options{Method: metis.RB, Seed: seed})
+	case "KWAY":
+		return metis.Partition(g, nproc, metis.Options{Method: metis.KWay, Seed: seed})
+	case "TV":
+		return metis.Partition(g, nproc, metis.Options{Method: metis.KWayVol, Seed: seed})
+	}
+	return nil, fmt.Errorf("experiments: unknown method %q", method)
+}
+
+// Setup bundles the reusable pieces of one resolution's experiments.
+type Setup struct {
+	Mesh     *mesh.Mesh
+	Graph    *graph.Graph
+	Workload machine.Workload
+	Model    machine.Model
+	Serial   machine.StepReport
+}
+
+// NewSetup prepares the mesh, graph, workload and machine model for a
+// resolution.
+func NewSetup(ne int) (*Setup, error) {
+	m, err := mesh.New(ne)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.FromMesh(m, graph.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	w := machine.DefaultWorkload()
+	mod := machine.NCARP690()
+	serial, err := machine.SerialStep(m, w, mod, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Setup{Mesh: m, Graph: g, Workload: w, Model: mod, Serial: serial}, nil
+}
+
+// Table1 reproduces Table 1 of the paper: the SEAM test resolutions with
+// their element counts, processor-count ranges, and SFC recursion levels.
+func Table1() *Table {
+	t := &Table{
+		Name:    "table1",
+		Title:   "Table 1: SEAM test resolutions",
+		Headers: []string{"K (# of elements)", "Nproc", "Ne", "Hilbert level", "m-Peano level"},
+	}
+	type res struct {
+		ne int
+	}
+	for _, ne := range []int{8, 9, 16, 18} {
+		n2, n3, err := sfc.Factor(ne)
+		if err != nil {
+			continue
+		}
+		k := 6 * ne * ne
+		procs := core.EqualProcCounts(ne)
+		nprocRange := fmt.Sprintf("1 to %d", procs[len(procs)-1])
+		hil := fmt.Sprintf("%d", n2)
+		pea := fmt.Sprintf("%d", n3)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k), nprocRange, fmt.Sprintf("%d", ne), hil, pea,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"processor counts are the divisors of K so every processor holds an equal number of elements")
+	return t
+}
+
+// Table2 reproduces Table 2: partition statistics for K=1536 (Ne=16) on 768
+// processors, for SFC and the three METIS algorithms.
+func Table2(seed int64) (*Table, error) {
+	const ne, nproc = 16, 768
+	s, err := NewSetup(ne)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:    "table2",
+		Title:   fmt.Sprintf("Table 2: partition statistics for K=%d on %d processors", 6*ne*ne, nproc),
+		Headers: []string{"Metric", "SFC", "KWAY", "TV", "RB"},
+	}
+	order := []string{"SFC", "KWAY", "TV", "RB"}
+	type col struct {
+		lbN, lbS   float64
+		tcvMB      float64
+		edgecut    int64
+		timeMicros float64
+	}
+	cols := map[string]col{}
+	for _, method := range order {
+		p, err := partitionWith(method, s.Mesh, s.Graph, nproc, seed)
+		if err != nil {
+			return nil, err
+		}
+		st, err := partition.ComputeStats(s.Graph, p)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := machine.SimulateStep(s.Mesh, p, s.Workload, s.Model, nil)
+		if err != nil {
+			return nil, err
+		}
+		cols[method] = col{
+			lbN:        st.LBNelemd,
+			lbS:        st.LBSpcv,
+			tcvMB:      float64(rep.TotalCommBytes) / 1e6,
+			edgecut:    st.EdgeCutUnweighted,
+			timeMicros: rep.StepTime * 1e6,
+		}
+	}
+	row := func(name string, f func(c col) string) {
+		r := []string{name}
+		for _, m := range order {
+			r = append(r, f(cols[m]))
+		}
+		t.Rows = append(t.Rows, r)
+	}
+	row("LB(nelemd)", func(c col) string { return fmt.Sprintf("%.3f", c.lbN) })
+	row("LB(spcv)", func(c col) string { return fmt.Sprintf("%.3f", c.lbS) })
+	row("TCV (Mbytes)", func(c col) string { return fmt.Sprintf("%.1f", c.tcvMB) })
+	row("edgecut", func(c col) string { return fmt.Sprintf("%d", c.edgecut) })
+	row("Time (usec)", func(c col) string { return fmt.Sprintf("%.0f", c.timeMicros) })
+	t.Notes = append(t.Notes,
+		"TCV is the per-step bytes crossing processor boundaries in the machine model",
+		"Time is the modelled execution time per time-step on the P690 model")
+	return t, nil
+}
+
+// procSweep returns the equal-elements processor counts for a resolution,
+// capped at maxProc (the paper's machine exposed at most 768 processors).
+func procSweep(ne, maxProc int) []int {
+	var out []int
+	for _, p := range core.EqualProcCounts(ne) {
+		if p <= maxProc {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sweep evaluates every partitioning method over the equal-elements
+// processor counts up to maxProc and returns per-method series of the
+// metric selected by pick.
+func sweep(ne, maxProc int, seed int64, pick func(machine.StepReport, machine.StepReport) float64) (*Figure, error) {
+	return sweepProcs(ne, procSweep(ne, maxProc), seed, pick)
+}
+
+// sweepProcs is sweep over an explicit processor-count list.
+func sweepProcs(ne int, procs []int, seed int64, pick func(machine.StepReport, machine.StepReport) float64) (*Figure, error) {
+	s, err := NewSetup(ne)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{}
+	for _, method := range methodNames {
+		line := Line{Label: method}
+		for _, np := range procs {
+			var rep machine.StepReport
+			if np == 1 {
+				rep = s.Serial
+			} else {
+				p, err := partitionWith(method, s.Mesh, s.Graph, np, seed)
+				if err != nil {
+					return nil, err
+				}
+				rep, err = machine.SimulateStep(s.Mesh, p, s.Workload, s.Model, nil)
+				if err != nil {
+					return nil, err
+				}
+			}
+			line.X = append(line.X, float64(np))
+			line.Y = append(line.Y, pick(s.Serial, rep))
+		}
+		fig.Lines = append(fig.Lines, line)
+	}
+	return fig, nil
+}
+
+// Fig7 reproduces Figure 7: speedup versus processor count for K=384
+// (Ne=8, Hilbert curve), SFC against the METIS algorithms.
+func Fig7(seed int64) (*Figure, error) {
+	fig, err := sweep(8, 384, seed, machine.Speedup)
+	if err != nil {
+		return nil, err
+	}
+	fig.Name, fig.Title = "fig7", "Figure 7: speedup vs single processor, K=384"
+	fig.XLabel, fig.YLabel = "Nproc", "speedup"
+	return fig, nil
+}
+
+// Fig8 reproduces Figure 8: speedup for K=486 (Ne=9, m-Peano curve).
+func Fig8(seed int64) (*Figure, error) {
+	fig, err := sweep(9, 486, seed, machine.Speedup)
+	if err != nil {
+		return nil, err
+	}
+	fig.Name, fig.Title = "fig8", "Figure 8: speedup vs single processor, K=486"
+	fig.XLabel, fig.YLabel = "Nproc", "speedup"
+	return fig, nil
+}
+
+// Fig9 reproduces Figure 9: sustained Gflops for K=384.
+func Fig9(seed int64) (*Figure, error) {
+	fig, err := sweep(8, 384, seed, func(_, rep machine.StepReport) float64 {
+		return rep.SustainedGflops()
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Name, fig.Title = "fig9", "Figure 9: sustained Gflops, K=384"
+	fig.XLabel, fig.YLabel = "Nproc", "Gflops"
+	return fig, nil
+}
+
+// Fig10 reproduces Figure 10: sustained Gflops for K=1536 up to 768
+// processors.
+func Fig10(seed int64) (*Figure, error) {
+	fig, err := sweep(16, 768, seed, func(_, rep machine.StepReport) float64 {
+		return rep.SustainedGflops()
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Name, fig.Title = "fig10", "Figure 10: sustained Gflops, K=1536"
+	fig.XLabel, fig.YLabel = "Nproc", "Gflops"
+	return fig, nil
+}
+
+// Advantage returns the relative advantage of the SFC series over the best
+// METIS series at the largest x of a speedup/Gflops figure, e.g. 0.22 for
+// the paper's "22% increase on O(1000) processors".
+func Advantage(fig *Figure) float64 {
+	var sfcY, bestMetis float64
+	for _, l := range fig.Lines {
+		n := len(l.Y)
+		if n == 0 {
+			continue
+		}
+		y := l.Y[n-1]
+		if l.Label == "SFC" {
+			sfcY = y
+		} else if y > bestMetis {
+			bestMetis = y
+		}
+	}
+	if bestMetis == 0 {
+		return 0
+	}
+	return sfcY/bestMetis - 1
+}
+
+// K1944 reproduces the section-4 comparison of the Hilbert-Peano case: the
+// SFC advantage at 4 elements per processor for K=1944 (Ne=18, 486 procs)
+// versus K=384 (Ne=8, 96 procs).
+func K1944(seed int64) (*Table, error) {
+	t := &Table{
+		Name:    "k1944",
+		Title:   "Hilbert-Peano case: SFC advantage at 4 elements per processor",
+		Headers: []string{"K", "Ne", "Nproc", "curve", "SFC advantage over best METIS"},
+	}
+	cases := []struct {
+		ne, nproc int
+		curve     string
+	}{
+		{8, 96, "Hilbert"},
+		{18, 486, "Hilbert-Peano"},
+	}
+	for _, c := range cases {
+		s, err := NewSetup(c.ne)
+		if err != nil {
+			return nil, err
+		}
+		var sfcTime float64
+		bestMetis := 0.0
+		first := true
+		for _, method := range methodNames {
+			p, err := partitionWith(method, s.Mesh, s.Graph, c.nproc, seed)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := machine.SimulateStep(s.Mesh, p, s.Workload, s.Model, nil)
+			if err != nil {
+				return nil, err
+			}
+			if method == "SFC" {
+				sfcTime = rep.StepTime
+			} else if first || rep.StepTime < bestMetis {
+				bestMetis = rep.StepTime
+				first = false
+			}
+		}
+		adv := bestMetis/sfcTime - 1
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", 6*c.ne*c.ne),
+			fmt.Sprintf("%d", c.ne),
+			fmt.Sprintf("%d", c.nproc),
+			c.curve,
+			fmt.Sprintf("%.1f%%", adv*100),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the paper reports 13% for K=384 on 96 procs and only 7% for K=1944 on 486 procs")
+	return t, nil
+}

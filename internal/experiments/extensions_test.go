@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationOrderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("K=1536 sweeps in short mode")
+	}
+	tab, err := AblationOrderings(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 15 { // 5 processor counts x 3 orderings
+		t.Fatalf("%d rows, want 15", len(tab.Rows))
+	}
+	// At the unaligned counts Morton must show disconnected parts while
+	// Hilbert shows none, and Hilbert's edgecut must be the best or tied
+	// in every group.
+	byKey := map[string][]string{}
+	for _, row := range tab.Rows {
+		byKey[row[0]+"/"+row[1]] = row
+	}
+	for _, nproc := range []string{"128", "512"} {
+		h := byKey[nproc+"/hilbert"]
+		m := byKey[nproc+"/morton"]
+		if h[5] != "0" {
+			t.Errorf("nproc=%s: hilbert has %s disconnected parts", nproc, h[5])
+		}
+		if m[5] == "0" {
+			t.Errorf("nproc=%s: morton unexpectedly has no disconnected parts", nproc)
+		}
+	}
+	for _, nproc := range []string{"96", "128", "384", "512", "768"} {
+		h := atoiT(t, byKey[nproc+"/hilbert"][3])
+		for _, o := range []string{"morton", "serpentine"} {
+			if v := atoiT(t, byKey[nproc+"/"+o][3]); v < h {
+				t.Errorf("nproc=%s: %s edgecut %d beats hilbert %d", nproc, o, v, h)
+			}
+		}
+	}
+}
+
+func atoiT(t *testing.T, s string) int {
+	t.Helper()
+	var v int
+	if _, err := fmtSscanInt(s, &v); err != nil {
+		t.Fatalf("bad int %q", s)
+	}
+	return v
+}
+
+func TestDynamicRepartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("K=1536 repartitioning sweep in short mode")
+	}
+	tab, err := DynamicRepartition(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 16 {
+		t.Fatalf("%d rows, want 16", len(tab.Rows))
+	}
+	// The headline claim: incremental SFC repartitioning migrates far less
+	// than from-scratch KWAY. Read the note.
+	if len(tab.Notes) == 0 || !strings.Contains(tab.Notes[0], "mean migration") {
+		t.Fatal("missing migration summary note")
+	}
+	var sfcMean, kwayMean float64
+	if _, err := sscanTwo(tab.Notes[0], &sfcMean, &kwayMean); err != nil {
+		t.Fatalf("cannot parse note %q: %v", tab.Notes[0], err)
+	}
+	if sfcMean*2 > kwayMean {
+		t.Errorf("SFC migration %.1f%% not clearly below KWAY %.1f%%", sfcMean, kwayMean)
+	}
+}
+
+func TestFutureScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("K=3456 sweep in short mode")
+	}
+	fig, err := FutureScaling(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := fig.Lines[0].X[len(fig.Lines[0].X)-1]
+	if last != 3456 {
+		t.Errorf("sweep ends at %v, want 3456 (beyond the paper's 768)", last)
+	}
+	if adv := Advantage(fig); adv <= 0 {
+		t.Errorf("SFC advantage at %v procs = %.1f%%, want positive", last, adv*100)
+	}
+}
+
+func TestModelFidelity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("K=1536 partitioning in short mode")
+	}
+	tab, err := ModelFidelity(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tab.Rows))
+	}
+	// Every ratio within [0.5, 1.5] and SFC fastest under both models.
+	for _, row := range tab.Rows {
+		var ratio float64
+		if _, err := fmtSscan(row[3], &ratio); err != nil {
+			t.Fatal(err)
+		}
+		if ratio < 0.5 || ratio > 1.5 {
+			t.Errorf("%s: model ratio %v out of range", row[0], ratio)
+		}
+	}
+}
+
+func TestAMRPartition(t *testing.T) {
+	tab, err := AMRPartition(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 { // 3 proc counts x 3 methods
+		t.Fatalf("%d rows, want 9", len(tab.Rows))
+	}
+	// SFC parts must always be connected on the adaptive mesh.
+	for _, row := range tab.Rows {
+		if row[1] == "SFC" && row[4] != "0" {
+			t.Errorf("SFC produced %s disconnected parts at %s procs", row[4], row[0])
+		}
+	}
+}

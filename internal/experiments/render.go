@@ -1,0 +1,267 @@
+// Package experiments regenerates every table and figure of Dennis (IPPS
+// 2003) from the reproduction's own components: the SFC partitioner
+// (internal/core), the METIS-equivalent baseline (internal/metis), the
+// partition metrics (internal/partition), and the P690 machine model
+// (internal/machine). Each experiment returns text output plus CSV and SVG
+// artifacts; EXPERIMENTS.md records the comparison against the paper.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a rendered experiment table.
+type Table struct {
+	Name    string // artifact base name, e.g. "table2"
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ",") + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ",") + "\n")
+	}
+	return b.String()
+}
+
+// Line is one series of a figure.
+type Line struct {
+	Label string
+	X, Y  []float64
+}
+
+// Figure is a rendered experiment figure: one or more series over a shared
+// x axis.
+type Figure struct {
+	Name   string
+	Title  string
+	XLabel string
+	YLabel string
+	Lines  []Line
+}
+
+// RenderTable formats the figure's data as an aligned text table (the
+// figure's table view).
+func (f *Figure) RenderTable() string {
+	t := &Table{Title: f.Title, Headers: []string{f.XLabel}}
+	for _, l := range f.Lines {
+		t.Headers = append(t.Headers, l.Label+" ("+f.YLabel+")")
+	}
+	// Collect the union of x values (series share x in our experiments).
+	if len(f.Lines) == 0 {
+		return t.Render()
+	}
+	for i, x := range f.Lines[0].X {
+		row := []string{trimFloat(x)}
+		for _, l := range f.Lines {
+			if i < len(l.Y) {
+				row = append(row, fmt.Sprintf("%.3f", l.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t.Render()
+}
+
+// CSV renders the figure data.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(f.XLabel)
+	for _, l := range f.Lines {
+		b.WriteString("," + l.Label)
+	}
+	b.WriteByte('\n')
+	if len(f.Lines) == 0 {
+		return b.String()
+	}
+	for i, x := range f.Lines[0].X {
+		b.WriteString(trimFloat(x))
+		for _, l := range f.Lines {
+			if i < len(l.Y) {
+				fmt.Fprintf(&b, ",%g", l.Y[i])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Categorical series colors (validated palette, light mode, slots 1-4:
+// blue, aqua, yellow, green). Assigned in fixed order: SFC always gets slot
+// 1, RB slot 2, KWAY slot 3, TV slot 4 — color follows the entity.
+var seriesColors = []string{"#2a78d6", "#1baf7a", "#eda100", "#008300"}
+
+const (
+	svgSurface   = "#fcfcfb"
+	svgTextMain  = "#0b0b0b"
+	svgTextMuted = "#52514e"
+	svgGrid      = "#e4e3df"
+)
+
+// SVG renders the figure as a standalone line chart on a light surface:
+// 2 px lines, 8 px markers, a recessive grid, a legend plus direct labels
+// at the right edge (identity is never color-alone), log2 x axis when the
+// x values span more than a factor of 16 (processor sweeps).
+func (f *Figure) SVG() string {
+	const (
+		w, h               = 760, 440
+		ml, mr, mt, mb     = 70, 150, 48, 56
+		plotW, plotH       = w - ml - mr, h - mt - mb
+		tickLen, fontSmall = 4, 12
+	)
+	var xmin, xmax, ymax float64
+	xmin = math.Inf(1)
+	for _, l := range f.Lines {
+		for _, x := range l.X {
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+		}
+		for _, y := range l.Y {
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if len(f.Lines) == 0 || xmax <= xmin {
+		xmin, xmax, ymax = 0, 1, 1
+	}
+	logX := xmin > 0 && xmax/xmin > 16
+	tx := func(x float64) float64 {
+		if logX {
+			return ml + plotW*(math.Log2(x)-math.Log2(xmin))/(math.Log2(xmax)-math.Log2(xmin))
+		}
+		return ml + plotW*(x-xmin)/(xmax-xmin)
+	}
+	ty := func(y float64) float64 { return mt + plotH*(1-y/(ymax*1.06)) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`, w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`, w, h, svgSurface)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" fill="%s">%s</text>`, ml, svgTextMain, xmlEscape(f.Title))
+
+	// Horizontal grid + y ticks.
+	for i := 0; i <= 5; i++ {
+		y := ymax * 1.06 * float64(i) / 5
+		py := ty(y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`, ml, py, w-mr, py, svgGrid)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="%d" fill="%s" text-anchor="end">%.*f</text>`,
+			ml-8, py+4, fontSmall, svgTextMuted, yDecimals(ymax), y)
+	}
+	// X ticks: the data's own x values (processor counts), thinned.
+	if len(f.Lines) > 0 {
+		xs := f.Lines[0].X
+		step := 1
+		if len(xs) > 8 {
+			step = (len(xs) + 7) / 8
+		}
+		for i := 0; i < len(xs); i += step {
+			px := tx(xs[i])
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s"/>`, px, h-mb, px, h-mb+tickLen, svgTextMuted)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="%d" fill="%s" text-anchor="middle">%s</text>`,
+				px, h-mb+18, fontSmall, svgTextMuted, trimFloat(xs[i]))
+		}
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" fill="%s" text-anchor="middle">%s</text>`,
+		ml+plotW/2, h-12, svgTextMain, xmlEscape(f.XLabel))
+	fmt.Fprintf(&b, `<text x="18" y="%d" font-size="13" fill="%s" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`,
+		mt+plotH/2, svgTextMain, mt+plotH/2, xmlEscape(f.YLabel))
+
+	// Series: 2 px lines, 8 px (r=4) markers, direct label at right edge.
+	for si, l := range f.Lines {
+		color := seriesColors[si%len(seriesColors)]
+		var path strings.Builder
+		for i := range l.X {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, tx(l.X[i]), ty(l.Y[i]))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`, path.String(), color)
+		for i := range l.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s" stroke="%s" stroke-width="2"/>`,
+				tx(l.X[i]), ty(l.Y[i]), color, svgSurface)
+		}
+		if n := len(l.X); n > 0 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="%d" fill="%s">%s</text>`,
+				tx(l.X[n-1])+10, ty(l.Y[n-1])+4+float64(0), fontSmall, svgTextMain, xmlEscape(l.Label))
+		}
+		// Legend entry.
+		ly := mt + 8 + si*20
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`, w-mr+14, ly, w-mr+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" fill="%s">%s</text>`, w-mr+40, ly+4, fontSmall, svgTextMain, xmlEscape(l.Label))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func yDecimals(ymax float64) int {
+	if ymax >= 20 {
+		return 0
+	}
+	if ymax >= 2 {
+		return 1
+	}
+	return 2
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,15 @@
+package experiments
+
+import "fmt"
+
+// sscan parses a float for the tests.
+func sscan(s string, f *float64) (int, error) { return fmt.Sscan(s, f) }
+
+// fmtSscanInt parses an int for the tests.
+func fmtSscanInt(s string, v *int) (int, error) { return fmt.Sscan(s, v) }
+
+// sscanTwo extracts the two percentages from the dynamic experiment's
+// migration note.
+func sscanTwo(s string, a, b *float64) (int, error) {
+	return fmt.Sscanf(s, "mean migration per repartition: SFC %f%%, KWAY-from-scratch %f%%", a, b)
+}

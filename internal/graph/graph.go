@@ -1,0 +1,260 @@
+// Package graph provides the undirected weighted graph model used for mesh
+// partitioning (Dennis, IPPS 2003, section 2): vertices are spectral elements
+// with a weight representing the computation associated with the element, and
+// edges connect neighbouring elements with a weight representing the amount
+// of information exchanged across the shared boundary.
+//
+// Graphs are stored in compressed sparse row (CSR) form, the representation
+// METIS itself uses, so coarsening and refinement are cache-friendly.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"sfccube/internal/mesh"
+)
+
+// Graph is an undirected graph in CSR form. For every undirected edge {u,v}
+// both directions are stored: v appears in Adj(u) and u in Adj(v), with equal
+// weights. The zero value is an empty graph.
+type Graph struct {
+	xadj   []int32 // length NumVertices+1; Adj(v) = adjncy[xadj[v]:xadj[v+1]]
+	adjncy []int32
+	adjwgt []int32 // edge weights, parallel to adjncy
+	vwgt   []int32 // vertex weights, length NumVertices
+
+	// vsize is the "communication volume" contributed by each vertex when
+	// any of its edges is cut (METIS's vsize); used by the TV objective.
+	vsize []int32
+}
+
+// Builder accumulates edges before freezing them into CSR form.
+type Builder struct {
+	n     int
+	vwgt  []int32
+	vsize []int32
+	adj   []map[int32]int32 // adj[u][v] = weight
+}
+
+// NewBuilder creates a builder for a graph with n vertices, all with unit
+// vertex weight and unit communication size.
+func NewBuilder(n int) *Builder {
+	b := &Builder{
+		n:     n,
+		vwgt:  make([]int32, n),
+		vsize: make([]int32, n),
+		adj:   make([]map[int32]int32, n),
+	}
+	for i := range b.vwgt {
+		b.vwgt[i] = 1
+		b.vsize[i] = 1
+	}
+	return b
+}
+
+// SetVertexWeight sets the computation weight of vertex v.
+func (b *Builder) SetVertexWeight(v int, w int32) { b.vwgt[v] = w }
+
+// SetVertexSize sets the communication volume contributed by v when cut.
+func (b *Builder) SetVertexSize(v int, s int32) { b.vsize[v] = s }
+
+// AddEdge records the undirected edge {u, v} with the given weight. Adding
+// the same edge again accumulates weight. Self-loops are rejected.
+func (b *Builder) AddEdge(u, v int, w int32) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop on vertex %d", u)
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	for _, pair := range [2][2]int{{u, v}, {v, u}} {
+		if b.adj[pair[0]] == nil {
+			b.adj[pair[0]] = make(map[int32]int32, 8)
+		}
+		b.adj[pair[0]][int32(pair[1])] += w
+	}
+	return nil
+}
+
+// Build freezes the builder into a CSR graph with sorted adjacency lists.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		xadj:  make([]int32, b.n+1),
+		vwgt:  append([]int32(nil), b.vwgt...),
+		vsize: append([]int32(nil), b.vsize...),
+	}
+	total := 0
+	for _, m := range b.adj {
+		total += len(m)
+	}
+	g.adjncy = make([]int32, 0, total)
+	g.adjwgt = make([]int32, 0, total)
+	for u := 0; u < b.n; u++ {
+		nbrs := make([]int32, 0, len(b.adj[u]))
+		for v := range b.adj[u] {
+			nbrs = append(nbrs, v)
+		}
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		for _, v := range nbrs {
+			g.adjncy = append(g.adjncy, v)
+			g.adjwgt = append(g.adjwgt, b.adj[u][v])
+		}
+		g.xadj[u+1] = int32(len(g.adjncy))
+	}
+	return g
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.vwgt) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.adjncy) / 2 }
+
+// Adj returns the neighbours of v. The slice aliases graph storage.
+func (g *Graph) Adj(v int) []int32 { return g.adjncy[g.xadj[v]:g.xadj[v+1]] }
+
+// AdjWeights returns the edge weights parallel to Adj(v).
+func (g *Graph) AdjWeights(v int) []int32 { return g.adjwgt[g.xadj[v]:g.xadj[v+1]] }
+
+// VertexWeight returns the computation weight of v.
+func (g *Graph) VertexWeight(v int) int32 { return g.vwgt[v] }
+
+// VertexSize returns the communication volume contributed by v when cut.
+func (g *Graph) VertexSize(v int) int32 { return g.vsize[v] }
+
+// TotalVertexWeight returns the sum of all vertex weights.
+func (g *Graph) TotalVertexWeight() int64 {
+	var s int64
+	for _, w := range g.vwgt {
+		s += int64(w)
+	}
+	return s
+}
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int { return int(g.xadj[v+1] - g.xadj[v]) }
+
+// EdgeWeightBetween returns the weight of edge {u,v}, or 0 if absent.
+// Adjacency lists are sorted, so this is a binary search.
+func (g *Graph) EdgeWeightBetween(u, v int) int32 {
+	adj := g.Adj(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= int32(v) })
+	if i < len(adj) && adj[i] == int32(v) {
+		return g.AdjWeights(u)[i]
+	}
+	return 0
+}
+
+// Validate checks CSR structural invariants: sorted adjacency, symmetry of
+// both edges and weights, no self-loops, positive weights.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if len(g.xadj) != n+1 || g.xadj[0] != 0 || int(g.xadj[n]) != len(g.adjncy) {
+		return fmt.Errorf("graph: bad xadj structure")
+	}
+	for v := 0; v < n; v++ {
+		adj, wts := g.Adj(v), g.AdjWeights(v)
+		for i, u := range adj {
+			if u == int32(v) {
+				return fmt.Errorf("graph: self-loop on %d", v)
+			}
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbour %d", v, u)
+			}
+			if i > 0 && adj[i-1] >= u {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", v)
+			}
+			if wts[i] <= 0 {
+				return fmt.Errorf("graph: non-positive weight on edge (%d,%d)", v, u)
+			}
+			if g.EdgeWeightBetween(int(u), v) != wts[i] {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// Options configures how a mesh is turned into a partitioning graph.
+type Options struct {
+	// EdgeWeight is the weight of a shared element boundary. In SEAM a
+	// boundary exchanges one row of np Gauss-Lobatto-Legendre points, so
+	// the natural weight is np. Zero means 1.
+	EdgeWeight int32
+	// CornerWeight is the weight of a shared corner point (a single GLL
+	// point). Zero means 1. Set IncludeCorners=false to omit corner edges
+	// entirely.
+	CornerWeight int32
+	// IncludeCorners includes corner-sharing neighbour pairs as graph
+	// edges, as the paper does ("neighboring elements that share a
+	// boundary or corner point").
+	IncludeCorners bool
+	// VertexWeights optionally assigns a non-uniform computation weight
+	// per element (indexed by ElemID). Nil means uniform weight 1.
+	VertexWeights []int32
+	// VertexSizes optionally assigns the communication volume per element
+	// for the TV objective. Nil means uniform size 1.
+	VertexSizes []int32
+}
+
+// DefaultOptions matches the paper's setup: boundary and corner edges with
+// weights proportional to the number of shared GLL points (np=8 boundary
+// points, 1 corner point).
+func DefaultOptions() Options {
+	return Options{EdgeWeight: 8, CornerWeight: 1, IncludeCorners: true}
+}
+
+// FromMesh builds the partitioning graph of a cubed-sphere mesh.
+func FromMesh(m *mesh.Mesh, opt Options) (*Graph, error) {
+	if opt.EdgeWeight == 0 {
+		opt.EdgeWeight = 1
+	}
+	if opt.CornerWeight == 0 {
+		opt.CornerWeight = 1
+	}
+	k := m.NumElems()
+	b := NewBuilder(k)
+	if opt.VertexWeights != nil {
+		if len(opt.VertexWeights) != k {
+			return nil, fmt.Errorf("graph: %d vertex weights for %d elements", len(opt.VertexWeights), k)
+		}
+		for v, w := range opt.VertexWeights {
+			if w <= 0 {
+				return nil, fmt.Errorf("graph: non-positive vertex weight %d on element %d", w, v)
+			}
+			b.SetVertexWeight(v, w)
+		}
+	}
+	if opt.VertexSizes != nil {
+		if len(opt.VertexSizes) != k {
+			return nil, fmt.Errorf("graph: %d vertex sizes for %d elements", len(opt.VertexSizes), k)
+		}
+		for v, s := range opt.VertexSizes {
+			if s <= 0 {
+				return nil, fmt.Errorf("graph: non-positive vertex size %d on element %d", s, v)
+			}
+			b.SetVertexSize(v, s)
+		}
+	}
+	for e := 0; e < k; e++ {
+		id := mesh.ElemID(e)
+		for _, n := range m.EdgeNeighbors(id) {
+			if n > id { // add each undirected edge once
+				if err := b.AddEdge(e, int(n), opt.EdgeWeight); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if opt.IncludeCorners {
+			for _, n := range m.CornerNeighbors(id) {
+				if n > id {
+					if err := b.AddEdge(e, int(n), opt.CornerWeight); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}

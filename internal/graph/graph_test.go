@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sfccube/internal/mesh"
+)
+
+func path3() *Graph {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 1, 2); err != nil {
+		panic(err)
+	}
+	if err := b.AddEdge(1, 2, 3); err != nil {
+		panic(err)
+	}
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := path3()
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 2 || g.Degree(2) != 1 {
+		t.Error("degrees wrong")
+	}
+	if g.EdgeWeightBetween(0, 1) != 2 || g.EdgeWeightBetween(1, 0) != 2 {
+		t.Error("edge weight (0,1) wrong")
+	}
+	if g.EdgeWeightBetween(0, 2) != 0 {
+		t.Error("absent edge should have weight 0")
+	}
+	if g.VertexWeight(0) != 1 || g.VertexSize(0) != 1 {
+		t.Error("default vertex weight/size should be 1")
+	}
+	if g.TotalVertexWeight() != 3 {
+		t.Error("total vertex weight wrong")
+	}
+}
+
+func TestBuilderAccumulatesParallelEdges(t *testing.T) {
+	b := NewBuilder(2)
+	_ = b.AddEdge(0, 1, 2)
+	_ = b.AddEdge(1, 0, 5)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("parallel edges not merged: %d edges", g.NumEdges())
+	}
+	if g.EdgeWeightBetween(0, 1) != 7 {
+		t.Errorf("weight = %d, want 7", g.EdgeWeightBetween(0, 1))
+	}
+}
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(1, 1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := b.AddEdge(0, 3, 1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := b.AddEdge(-1, 0, 1); err == nil {
+		t.Error("negative vertex accepted")
+	}
+}
+
+func TestVertexWeightsAndSizes(t *testing.T) {
+	b := NewBuilder(2)
+	b.SetVertexWeight(0, 7)
+	b.SetVertexSize(1, 9)
+	_ = b.AddEdge(0, 1, 1)
+	g := b.Build()
+	if g.VertexWeight(0) != 7 || g.VertexWeight(1) != 1 {
+		t.Error("vertex weights wrong")
+	}
+	if g.VertexSize(1) != 9 || g.VertexSize(0) != 1 {
+		t.Error("vertex sizes wrong")
+	}
+	if g.TotalVertexWeight() != 8 {
+		t.Error("total weight wrong")
+	}
+}
+
+func TestFromMeshStructure(t *testing.T) {
+	m := mesh.MustNew(4)
+	g, err := FromMesh(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != m.NumElems() {
+		t.Fatalf("vertices = %d, want %d", g.NumVertices(), m.NumElems())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Degree must match mesh neighbour count; weights must distinguish
+	// boundary (8) from corner (1) adjacency.
+	for e := 0; e < m.NumElems(); e++ {
+		id := mesh.ElemID(e)
+		want := len(m.EdgeNeighbors(id)) + len(m.CornerNeighbors(id))
+		if g.Degree(e) != want {
+			t.Fatalf("elem %d degree %d, want %d", e, g.Degree(e), want)
+		}
+		for _, n := range m.EdgeNeighbors(id) {
+			if g.EdgeWeightBetween(e, int(n)) != 8 {
+				t.Fatalf("boundary edge (%d,%d) weight %d, want 8", e, n, g.EdgeWeightBetween(e, int(n)))
+			}
+		}
+		for _, n := range m.CornerNeighbors(id) {
+			if g.EdgeWeightBetween(e, int(n)) != 1 {
+				t.Fatalf("corner edge (%d,%d) weight %d, want 1", e, n, g.EdgeWeightBetween(e, int(n)))
+			}
+		}
+	}
+}
+
+func TestFromMeshWithoutCorners(t *testing.T) {
+	m := mesh.MustNew(4)
+	g, err := FromMesh(m, Options{EdgeWeight: 1, IncludeCorners: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every element of the cubed-sphere has exactly 4 edge neighbours, so
+	// the boundary-only graph is 4-regular: |E| = 4*K/2.
+	if g.NumEdges() != 2*m.NumElems() {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), 2*m.NumElems())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("vertex %d degree %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestFromMeshCustomWeights(t *testing.T) {
+	m := mesh.MustNew(2)
+	k := m.NumElems()
+	vw := make([]int32, k)
+	vs := make([]int32, k)
+	for i := range vw {
+		vw[i] = int32(i + 1)
+		vs[i] = 2
+	}
+	g, err := FromMesh(m, Options{IncludeCorners: true, VertexWeights: vw, VertexSizes: vs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.VertexWeight(5) != 6 || g.VertexSize(3) != 2 {
+		t.Error("custom weights not applied")
+	}
+}
+
+func TestFromMeshRejectsBadWeights(t *testing.T) {
+	m := mesh.MustNew(2)
+	if _, err := FromMesh(m, Options{VertexWeights: []int32{1, 2}}); err == nil {
+		t.Error("short weight slice accepted")
+	}
+	bad := make([]int32, m.NumElems())
+	if _, err := FromMesh(m, Options{VertexWeights: bad}); err == nil {
+		t.Error("zero weights accepted")
+	}
+	sizes := make([]int32, m.NumElems())
+	if _, err := FromMesh(m, Options{VertexSizes: sizes}); err == nil {
+		t.Error("zero sizes accepted")
+	}
+	if _, err := FromMesh(m, Options{VertexSizes: []int32{1}}); err == nil {
+		t.Error("short size slice accepted")
+	}
+}
+
+// Property: FromMesh always produces a graph that passes Validate, for any
+// small mesh size and weight configuration.
+func TestFromMeshAlwaysValidProperty(t *testing.T) {
+	f := func(rawNe uint8, corners bool, ew, cw uint8) bool {
+		ne := 1 + int(rawNe)%6
+		m := mesh.MustNew(ne)
+		g, err := FromMesh(m, Options{
+			EdgeWeight:     int32(ew%16) + 1,
+			CornerWeight:   int32(cw%4) + 1,
+			IncludeCorners: corners,
+		})
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Error("empty graph not empty")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package mesh
+
+import "math"
+
+// Vec3 is a point or direction in R^3.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns s * a.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{s * a.X, s * a.Y, s * a.Z} }
+
+// Dot returns the dot product of a and b.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the cross product a x b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm returns the Euclidean norm of a.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Normalize returns a / |a|. It panics on the zero vector.
+func (a Vec3) Normalize() Vec3 {
+	n := a.Norm()
+	if n == 0 {
+		panic("mesh: normalize zero vector")
+	}
+	return a.Scale(1 / n)
+}
+
+// frameVecs returns the floating-point frame of face f.
+func frameVecs(f Face) (c, u, v Vec3) {
+	fr := faceFrames[f]
+	c = Vec3{float64(fr.c[0]), float64(fr.c[1]), float64(fr.c[2])}
+	u = Vec3{float64(fr.u[0]), float64(fr.u[1]), float64(fr.u[2])}
+	v = Vec3{float64(fr.v[0]), float64(fr.v[1]), float64(fr.v[2])}
+	return c, u, v
+}
+
+// CubePoint maps local face coordinates (x, y) in [-1, 1]^2 on face f to the
+// corresponding point on the surface of the cube [-1, 1]^3.
+func CubePoint(f Face, x, y float64) Vec3 {
+	c, u, v := frameVecs(f)
+	return c.Add(u.Scale(x)).Add(v.Scale(y))
+}
+
+// SpherePoint maps local face coordinates (x, y) in [-1, 1]^2 on face f to
+// the unit sphere via the gnomonic projection (central projection through the
+// sphere centre).
+func SpherePoint(f Face, x, y float64) Vec3 {
+	return CubePoint(f, x, y).Normalize()
+}
+
+// EquiangularPoint maps equiangular coordinates (alpha, beta) in
+// [-pi/4, pi/4]^2 on face f to the unit sphere: x = tan(alpha), y = tan(beta).
+// The equiangular map is the one used by SEAM; it yields more uniform element
+// sizes than the equidistant gnomonic map.
+func EquiangularPoint(f Face, alpha, beta float64) Vec3 {
+	return SpherePoint(f, math.Tan(alpha), math.Tan(beta))
+}
+
+// elemLocal returns the local coordinate of grid line i (0..ne) in [-1, 1]
+// under the equiangular subdivision: grid angles are uniform in alpha, so
+// grid coordinates are tan of uniform angles.
+func (m *Mesh) elemLocal(i int) float64 {
+	a := -math.Pi/4 + math.Pi/2*float64(i)/float64(m.ne)
+	return math.Tan(a)
+}
+
+// ElemCenter returns the position of the centre of element e on the unit
+// sphere (centre of its equiangular coordinate rectangle).
+func (m *Mesh) ElemCenter(e ElemID) Vec3 {
+	el := m.Elem(e)
+	a := -math.Pi/4 + math.Pi/2*(float64(el.I)+0.5)/float64(m.ne)
+	b := -math.Pi/4 + math.Pi/2*(float64(el.J)+0.5)/float64(m.ne)
+	return EquiangularPoint(el.Face, a, b)
+}
+
+// ElemCorners returns the four corners of element e on the unit sphere in
+// counter-clockwise order (viewed from outside): (i,j), (i+1,j), (i+1,j+1),
+// (i,j+1).
+func (m *Mesh) ElemCorners(e ElemID) [4]Vec3 {
+	el := m.Elem(e)
+	x0, x1 := m.elemLocal(el.I), m.elemLocal(el.I+1)
+	y0, y1 := m.elemLocal(el.J), m.elemLocal(el.J+1)
+	return [4]Vec3{
+		SpherePoint(el.Face, x0, y0),
+		SpherePoint(el.Face, x1, y0),
+		SpherePoint(el.Face, x1, y1),
+		SpherePoint(el.Face, x0, y1),
+	}
+}
+
+// sphericalTriangleArea returns the area of the spherical triangle with unit
+// vertex vectors a, b, c (L'Huilier-free formula via the dihedral excess,
+// computed with atan2 of the scalar triple product for numerical robustness).
+func sphericalTriangleArea(a, b, c Vec3) float64 {
+	num := a.Dot(b.Cross(c))
+	den := 1 + a.Dot(b) + b.Dot(c) + c.Dot(a)
+	return 2 * math.Atan2(math.Abs(num), den)
+}
+
+// ElemArea returns the spherical area of element e (the area of the
+// spherical quadrilateral spanned by its corners). The areas of all elements
+// sum to 4*pi.
+func (m *Mesh) ElemArea(e ElemID) float64 {
+	c := m.ElemCorners(e)
+	return sphericalTriangleArea(c[0], c[1], c[2]) + sphericalTriangleArea(c[0], c[2], c[3])
+}
+
+// LatLon returns the latitude and longitude (radians) of point p on the unit
+// sphere. Latitude is in [-pi/2, pi/2], longitude in (-pi, pi].
+func LatLon(p Vec3) (lat, lon float64) {
+	return math.Asin(math.Max(-1, math.Min(1, p.Z))), math.Atan2(p.Y, p.X)
+}

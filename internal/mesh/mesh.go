@@ -1,0 +1,262 @@
+// Package mesh implements the cubed-sphere computational domain used by the
+// NCAR spectral element atmospheric model (SEAM): the six faces of a cube
+// circumscribing the sphere are each subdivided into an Ne x Ne array of
+// quadrilateral spectral elements, and a gnomonic projection maps the elements
+// onto the surface of the sphere (Dennis, IPPS 2003, section 1 and Figure 1).
+//
+// For partitioning purposes an element is the indivisible atomic unit assigned
+// to a processor. Communication between processors is determined by
+// neighbouring elements that share a boundary (an edge) or a corner point.
+// The package therefore exposes both edge adjacency and corner adjacency,
+// computed exactly from integer corner-node keys on the cube surface so that
+// adjacency across cube edges and at the eight cube corners (where only three
+// faces meet) needs no special-casing.
+package mesh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NumFaces is the number of faces of the cube.
+const NumFaces = 6
+
+// Face identifies one of the six cube faces.
+type Face int
+
+// Face labels. The lateral faces 0..3 form an equatorial ring
+// (+X, +Y, -X, -Y) and faces 4 and 5 are the poles (+Z, -Z).
+const (
+	FacePX Face = iota // +X
+	FacePY             // +Y
+	FaceNX             // -X
+	FaceNY             // -Y
+	FacePZ             // +Z (north)
+	FaceNZ             // -Z (south)
+)
+
+func (f Face) String() string {
+	switch f {
+	case FacePX:
+		return "+X"
+	case FacePY:
+		return "+Y"
+	case FaceNX:
+		return "-X"
+	case FaceNY:
+		return "-Y"
+	case FacePZ:
+		return "+Z"
+	case FaceNZ:
+		return "-Z"
+	}
+	return fmt.Sprintf("Face(%d)", int(f))
+}
+
+// ElemID is the global identifier of a spectral element, in [0, K).
+type ElemID int
+
+// Elem locates an element on the cubed-sphere: face f, column i and row j,
+// both in [0, Ne).
+type Elem struct {
+	Face Face
+	I, J int
+}
+
+// Mesh is a cubed-sphere mesh with Ne x Ne elements per face.
+// The zero value is not usable; construct with New.
+type Mesh struct {
+	ne int
+
+	// edgeNbrs[e] lists the elements sharing an edge (two corner nodes)
+	// with element e; cornerNbrs[e] lists the elements sharing exactly one
+	// corner node. Both are sorted by element id.
+	edgeNbrs   [][]ElemID
+	cornerNbrs [][]ElemID
+}
+
+// New constructs the cubed-sphere mesh with ne x ne elements per face.
+// ne must be >= 1.
+func New(ne int) (*Mesh, error) {
+	if ne < 1 {
+		return nil, fmt.Errorf("mesh: Ne must be >= 1, got %d", ne)
+	}
+	m := &Mesh{ne: ne}
+	m.buildTopology()
+	return m, nil
+}
+
+// MustNew is New but panics on error; intended for tests and examples where
+// ne is a compile-time constant.
+func MustNew(ne int) *Mesh {
+	m, err := New(ne)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Ne returns the number of elements along one edge of a cube face.
+func (m *Mesh) Ne() int { return m.ne }
+
+// NumElems returns the total element count K = 6*Ne*Ne.
+func (m *Mesh) NumElems() int { return NumFaces * m.ne * m.ne }
+
+// ID returns the global element id for (face, i, j).
+func (m *Mesh) ID(f Face, i, j int) ElemID {
+	return ElemID(int(f)*m.ne*m.ne + j*m.ne + i)
+}
+
+// Elem returns the (face, i, j) location of a global element id.
+func (m *Mesh) Elem(id ElemID) Elem {
+	n2 := m.ne * m.ne
+	f := int(id) / n2
+	r := int(id) % n2
+	return Elem{Face: Face(f), I: r % m.ne, J: r / m.ne}
+}
+
+// Valid reports whether id is a valid element id for this mesh.
+func (m *Mesh) Valid(id ElemID) bool {
+	return id >= 0 && int(id) < m.NumElems()
+}
+
+// EdgeNeighbors returns the elements sharing an edge with e, sorted by id.
+// The returned slice is owned by the mesh and must not be modified.
+func (m *Mesh) EdgeNeighbors(e ElemID) []ElemID { return m.edgeNbrs[e] }
+
+// CornerNeighbors returns the elements sharing exactly one corner point with
+// e, sorted by id. The returned slice is owned by the mesh and must not be
+// modified.
+func (m *Mesh) CornerNeighbors(e ElemID) []ElemID { return m.cornerNbrs[e] }
+
+// Neighbors returns the union of edge and corner neighbours of e, sorted by
+// id. This is the adjacency the paper uses to build the partitioning graph
+// ("neighboring elements that share a boundary or corner point").
+func (m *Mesh) Neighbors(e ElemID) []ElemID {
+	out := make([]ElemID, 0, len(m.edgeNbrs[e])+len(m.cornerNbrs[e]))
+	out = append(out, m.edgeNbrs[e]...)
+	out = append(out, m.cornerNbrs[e]...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// NodeKey identifies a corner node of an element exactly: the node's
+// position on the cube surface scaled so all coordinates are integers.
+// Corner nodes shared between elements -- including across cube edges and at
+// cube corners -- compare equal, which lets clients (e.g. the spectral
+// element assembly in package seam) identify shared degrees of freedom
+// without any floating-point tolerance.
+type NodeKey struct{ X, Y, Z int }
+
+// CornerNodes returns the exact keys of the four corner nodes of element e
+// in counter-clockwise order: (i,j), (i+1,j), (i+1,j+1), (i,j+1) -- i.e.
+// bottom-left, bottom-right, top-right, top-left in local face coordinates.
+func (m *Mesh) CornerNodes(e ElemID) [4]NodeKey {
+	el := m.Elem(e)
+	mk := func(i, j int) NodeKey {
+		k := m.cornerNode(el.Face, i, j)
+		return NodeKey{k.x, k.y, k.z}
+	}
+	return [4]NodeKey{
+		mk(el.I, el.J),
+		mk(el.I+1, el.J),
+		mk(el.I+1, el.J+1),
+		mk(el.I, el.J+1),
+	}
+}
+
+// nodeKey identifies a corner node of an element exactly. Corner nodes live
+// on the surface of the cube [-ne, ne]^3 scaled by ne so that all coordinates
+// are integers: a node on face f at local grid corner (i, j) has cube
+// coordinates c*ne + u*(2i-ne) + v*(2j-ne) where (c, u, v) is the integer
+// frame of the face. Nodes shared between faces (on cube edges and corners)
+// get identical keys, which is what makes cross-face adjacency exact.
+type nodeKey struct{ x, y, z int }
+
+// faceFrame is the integer coordinate frame of a cube face: center axis c,
+// and in-face axes u (local i direction) and v (local j direction).
+type faceFrame struct{ c, u, v [3]int }
+
+// faceFrames defines the orientation of the local (i, j) grid on every face.
+// The lateral faces share the +Z direction as "up" (v axis), so j increases
+// towards the north pole on all four of them; the polar faces are oriented so
+// the mesh is right-handed when viewed from outside the sphere.
+var faceFrames = [NumFaces]faceFrame{
+	FacePX: {c: [3]int{1, 0, 0}, u: [3]int{0, 1, 0}, v: [3]int{0, 0, 1}},
+	FacePY: {c: [3]int{0, 1, 0}, u: [3]int{-1, 0, 0}, v: [3]int{0, 0, 1}},
+	FaceNX: {c: [3]int{-1, 0, 0}, u: [3]int{0, -1, 0}, v: [3]int{0, 0, 1}},
+	FaceNY: {c: [3]int{0, -1, 0}, u: [3]int{1, 0, 0}, v: [3]int{0, 0, 1}},
+	FacePZ: {c: [3]int{0, 0, 1}, u: [3]int{0, 1, 0}, v: [3]int{-1, 0, 0}},
+	FaceNZ: {c: [3]int{0, 0, -1}, u: [3]int{0, 1, 0}, v: [3]int{1, 0, 0}},
+}
+
+// cornerNode returns the integer key of the corner node at grid corner
+// (i, j) of face f, where i, j range over [0, ne] (element (i,j) has corners
+// (i,j), (i+1,j), (i,j+1), (i+1,j+1)).
+func (m *Mesh) cornerNode(f Face, i, j int) nodeKey {
+	fr := faceFrames[f]
+	a := 2*i - m.ne // in [-ne, ne]
+	b := 2*j - m.ne
+	return nodeKey{
+		x: fr.c[0]*m.ne + fr.u[0]*a + fr.v[0]*b,
+		y: fr.c[1]*m.ne + fr.u[1]*a + fr.v[1]*b,
+		z: fr.c[2]*m.ne + fr.u[2]*a + fr.v[2]*b,
+	}
+}
+
+// buildTopology computes edge and corner adjacency for every element by
+// grouping elements around shared corner nodes. Two elements sharing two
+// nodes share an edge; sharing exactly one node makes them corner neighbours.
+func (m *Mesh) buildTopology() {
+	k := m.NumElems()
+	// Map every corner node to the elements touching it.
+	nodeElems := make(map[nodeKey][]ElemID, 4*k)
+	for f := Face(0); f < NumFaces; f++ {
+		for j := 0; j < m.ne; j++ {
+			for i := 0; i < m.ne; i++ {
+				id := m.ID(f, i, j)
+				for _, c := range [4][2]int{{i, j}, {i + 1, j}, {i, j + 1}, {i + 1, j + 1}} {
+					key := m.cornerNode(f, c[0], c[1])
+					nodeElems[key] = append(nodeElems[key], id)
+				}
+			}
+		}
+	}
+	// Count shared nodes per element pair.
+	shared := make([]map[ElemID]int, k)
+	for i := range shared {
+		shared[i] = make(map[ElemID]int, 8)
+	}
+	for _, elems := range nodeElems {
+		for a := 0; a < len(elems); a++ {
+			for b := a + 1; b < len(elems); b++ {
+				e1, e2 := elems[a], elems[b]
+				if e1 == e2 {
+					// An element can touch the same node twice only if
+					// ne == 1 wraps a face onto itself; it cannot for a
+					// cube, but guard anyway.
+					continue
+				}
+				shared[e1][e2]++
+				shared[e2][e1]++
+			}
+		}
+	}
+	m.edgeNbrs = make([][]ElemID, k)
+	m.cornerNbrs = make([][]ElemID, k)
+	for e := 0; e < k; e++ {
+		var en, cn []ElemID
+		for nbr, cnt := range shared[e] {
+			switch {
+			case cnt >= 2:
+				en = append(en, nbr)
+			case cnt == 1:
+				cn = append(cn, nbr)
+			}
+		}
+		sort.Slice(en, func(a, b int) bool { return en[a] < en[b] })
+		sort.Slice(cn, func(a, b int) bool { return cn[a] < cn[b] })
+		m.edgeNbrs[e] = en
+		m.cornerNbrs[e] = cn
+	}
+}

@@ -1,0 +1,195 @@
+package metis
+
+import "math/rand"
+
+// bisect computes a 2-way split of g with target weight tw0 for side 0,
+// using the full multilevel scheme: coarsen, greedy-graph-growing initial
+// bisection, then FM refinement during uncoarsening. It returns the side
+// (0 or 1) of every vertex.
+func bisect(g *wgraph, tw0, band float64, rng *rand.Rand, opt Options) []int8 {
+	levels, coarsest := coarsen(g, opt.CoarsenTo, rng)
+	side := initialBisection(coarsest, tw0, band, rng, opt)
+	fmRefine(coarsest, side, tw0, band, opt.RefineIters)
+	// Project back through the hierarchy, refining at every level.
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		fineSide := make([]int8, lv.fine.n())
+		for v := range fineSide {
+			fineSide[v] = side[lv.cmap[v]]
+		}
+		side = fineSide
+		fmRefine(lv.fine, side, tw0, band, opt.RefineIters)
+	}
+	return side
+}
+
+// initialBisection runs several greedy-graph-growing attempts from random
+// seeds and keeps the one with the smallest cut after balancing.
+func initialBisection(g *wgraph, tw0, band float64, rng *rand.Rand, opt Options) []int8 {
+	n := g.n()
+	if n == 1 {
+		return []int8{0}
+	}
+	var best []int8
+	var bestCut int64 = -1
+	trials := opt.InitTrials
+	for t := 0; t < trials; t++ {
+		side := growRegion(g, tw0, rng)
+		fmRefine(g, side, tw0, band, opt.RefineIters)
+		cut := cutOf(g, side)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			best = append([]int8(nil), side...)
+		}
+	}
+	return best
+}
+
+// growRegion grows side 0 from a random seed vertex, always absorbing the
+// frontier vertex with the highest gain (external minus internal degree,
+// i.e. the vertex whose absorption reduces the future cut the most), until
+// side 0 reaches the target weight.
+func growRegion(g *wgraph, tw0 float64, rng *rand.Rand) []int8 {
+	n := g.n()
+	side := make([]int8, n)
+	for i := range side {
+		side[i] = 1
+	}
+	seed := int32(rng.Intn(n))
+	var w0 int64
+
+	// gain[v] = (weight to side 0) - (weight to side 1) for frontier
+	// vertices; grown vertices are marked in side.
+	inFrontier := make([]bool, n)
+	gain := make([]int64, n)
+	frontier := make([]int32, 0, 64)
+
+	absorb := func(v int32) {
+		side[v] = 0
+		w0 += int64(g.vwgt[v])
+		adj, wgt := g.deg(v)
+		for i, u := range adj {
+			if side[u] == 0 {
+				continue
+			}
+			if !inFrontier[u] {
+				inFrontier[u] = true
+				gain[u] = 0
+				frontier = append(frontier, u)
+			}
+			gain[u] += int64(wgt[i])
+		}
+	}
+	absorb(seed)
+	for float64(w0) < tw0 {
+		// Pick the frontier vertex with max gain whose weight keeps us
+		// closest to the target.
+		bestIdx := -1
+		var bestGain int64
+		for i, u := range frontier {
+			if side[u] == 0 {
+				continue // already absorbed
+			}
+			if bestIdx < 0 || gain[u] > bestGain {
+				bestIdx, bestGain = i, gain[u]
+			}
+		}
+		if bestIdx < 0 {
+			// Disconnected remainder: jump to a random unabsorbed vertex.
+			v := int32(-1)
+			for try := 0; try < n; try++ {
+				cand := int32(rng.Intn(n))
+				if side[cand] == 1 {
+					v = cand
+					break
+				}
+			}
+			if v < 0 {
+				break
+			}
+			absorb(v)
+			continue
+		}
+		v := frontier[bestIdx]
+		frontier[bestIdx] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		inFrontier[v] = false
+		absorb(v)
+	}
+	return side
+}
+
+// subgraph extracts the induced subgraph of g on the vertices with the given
+// side value. It returns the subgraph and the list mapping subgraph vertex
+// ids back to g's vertex ids.
+func subgraph(g *wgraph, side []int8, want int8) (*wgraph, []int32) {
+	n := g.n()
+	newID := make([]int32, n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	var verts []int32
+	for v := int32(0); v < int32(n); v++ {
+		if side[v] == want {
+			newID[v] = int32(len(verts))
+			verts = append(verts, v)
+		}
+	}
+	sub := &wgraph{
+		xadj:  make([]int32, len(verts)+1),
+		vwgt:  make([]int32, len(verts)),
+		vsize: make([]int32, len(verts)),
+	}
+	for i, v := range verts {
+		sub.vwgt[i] = g.vwgt[v]
+		sub.vsize[i] = g.vsize[v]
+		adj, wgt := g.deg(v)
+		for j, u := range adj {
+			if newID[u] >= 0 {
+				sub.adj = append(sub.adj, newID[u])
+				sub.ewgt = append(sub.ewgt, wgt[j])
+			}
+		}
+		sub.xadj[i+1] = int32(len(sub.adj))
+	}
+	return sub, verts
+}
+
+// recurseOn performs multilevel recursive bisection: it assigns parts
+// [firstPart, firstPart+nparts) to the vertices of g, whose original graph
+// ids are given by origVerts, writing the result into assign (indexed by
+// original ids).
+func recurseOn(g *wgraph, origVerts []int32, firstPart, nparts int, assign []int32, rng *rand.Rand, opt Options) {
+	if nparts == 1 {
+		for _, v := range origVerts {
+			assign[v] = int32(firstPart)
+		}
+		return
+	}
+	nLeft := (nparts + 1) / 2
+	nRight := nparts - nLeft
+	total := g.totalVWgt()
+	tw0 := float64(total) * float64(nLeft) / float64(nparts)
+	// The METIS-style UBfactor band: each bisection may trade this much
+	// imbalance for cut quality; the drift compounds down the tree.
+	band := opt.RBImbalance * float64(total)
+	side := bisect(g, tw0, band, rng, opt)
+	left, leftVerts := subgraph(g, side, 0)
+	right, rightVerts := subgraph(g, side, 1)
+	leftOrig := make([]int32, len(leftVerts))
+	for i, lv := range leftVerts {
+		leftOrig[i] = origVerts[lv]
+	}
+	rightOrig := make([]int32, len(rightVerts))
+	for i, rv := range rightVerts {
+		rightOrig[i] = origVerts[rv]
+	}
+	if len(leftOrig) < nLeft || len(rightOrig) < nRight {
+		for i, v := range origVerts {
+			assign[v] = int32(firstPart + i*nparts/len(origVerts))
+		}
+		return
+	}
+	recurseOn(left, leftOrig, firstPart, nLeft, assign, rng, opt)
+	recurseOn(right, rightOrig, firstPart+nLeft, nRight, assign, rng, opt)
+}

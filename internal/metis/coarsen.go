@@ -1,0 +1,136 @@
+package metis
+
+import "math/rand"
+
+// coarseLevel records one level of the multilevel hierarchy: the coarse
+// graph and the mapping from fine vertices to coarse vertices.
+type coarseLevel struct {
+	fine   *wgraph
+	coarse *wgraph
+	cmap   []int32 // fine vertex -> coarse vertex
+}
+
+// coarsen repeatedly contracts heavy-edge matchings of g until the graph has
+// at most coarsenTo vertices or contraction stalls (reduction < 10%).
+// It returns the hierarchy from finest to coarsest; the coarsest graph is
+// levels[len-1].coarse (or g itself when no contraction happened).
+func coarsen(g *wgraph, coarsenTo int, rng *rand.Rand) ([]coarseLevel, *wgraph) {
+	var levels []coarseLevel
+	cur := g
+	for cur.n() > coarsenTo {
+		cmap, nc := heavyEdgeMatch(cur, rng)
+		if nc >= cur.n() || float64(nc) > 0.95*float64(cur.n()) {
+			break // matching stalled; stop coarsening
+		}
+		next := contract(cur, cmap, nc)
+		levels = append(levels, coarseLevel{fine: cur, coarse: next, cmap: cmap})
+		cur = next
+	}
+	return levels, cur
+}
+
+// heavyEdgeMatch computes a heavy-edge matching: vertices are visited in
+// random order, and each unmatched vertex is matched with its unmatched
+// neighbour connected by the heaviest edge. It returns the fine-to-coarse
+// map and the number of coarse vertices.
+func heavyEdgeMatch(g *wgraph, rng *rand.Rand) (cmap []int32, nc int) {
+	n := g.n()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		adj, wgt := g.deg(v)
+		best := int32(-1)
+		var bestW int32 = -1
+		for i, u := range adj {
+			if match[u] < 0 && wgt[i] > bestW {
+				best, bestW = u, wgt[i]
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+	}
+	// Number coarse vertices: the lower-indexed endpoint of each pair owns
+	// the coarse id.
+	cmap = make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	next := int32(0)
+	for v := int32(0); v < int32(n); v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = next
+		if match[v] != v {
+			cmap[match[v]] = next
+		}
+		next++
+	}
+	return cmap, int(next)
+}
+
+// contract builds the coarse graph induced by cmap. Edge weights between
+// coarse vertices are the sums of the fine edge weights; edges internal to a
+// coarse vertex disappear. Vertex weights and sizes are summed.
+func contract(g *wgraph, cmap []int32, nc int) *wgraph {
+	coarse := &wgraph{
+		xadj:  make([]int32, nc+1),
+		vwgt:  make([]int32, nc),
+		vsize: make([]int32, nc),
+	}
+	for v := 0; v < g.n(); v++ {
+		c := cmap[v]
+		coarse.vwgt[c] += g.vwgt[v]
+		coarse.vsize[c] += g.vsize[v]
+	}
+	// Accumulate coarse adjacency with a dense scratch indexed by coarse id
+	// (reset lazily via a timestamp array to stay O(E)).
+	pos := make([]int32, nc) // position of coarse neighbour in current row
+	stamp := make([]int32, nc)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	// members[c] lists fine vertices of coarse vertex c.
+	members := make([][]int32, nc)
+	for v := int32(0); v < int32(g.n()); v++ {
+		members[cmap[v]] = append(members[cmap[v]], v)
+	}
+	adj := make([]int32, 0, len(g.adj))
+	ewgt := make([]int32, 0, len(g.ewgt))
+	for c := int32(0); c < int32(nc); c++ {
+		rowStart := int32(len(adj))
+		for _, v := range members[c] {
+			a, w := g.deg(v)
+			for i, u := range a {
+				cu := cmap[u]
+				if cu == c {
+					continue // internal edge
+				}
+				if stamp[cu] != c {
+					stamp[cu] = c
+					pos[cu] = int32(len(adj))
+					adj = append(adj, cu)
+					ewgt = append(ewgt, w[i])
+				} else {
+					ewgt[pos[cu]] += w[i]
+				}
+			}
+		}
+		_ = rowStart
+		coarse.xadj[c+1] = int32(len(adj))
+	}
+	coarse.adj = adj
+	coarse.ewgt = ewgt
+	return coarse
+}

@@ -1,0 +1,160 @@
+package metis
+
+// fmRefine improves a 2-way partition with Fiduccia-Mattheyses passes:
+// vertices are moved one at a time, each at most once per pass, and the pass
+// is rolled back to the best prefix seen. A prefix is scored first by
+// balance class (side 0's weight within half a vertex of the exact target;
+// within one vertex; worse) and then by cumulative cut gain, so the
+// refinement both restores balance after projection from a coarser level and
+// reduces the cut, in that order of priority.
+func fmRefine(g *wgraph, side []int8, target, band float64, maxIters int) {
+	n := g.n()
+	if n < 2 {
+		return
+	}
+	var maxVW int64 = 1
+	var w0 int64
+	for v := 0; v < n; v++ {
+		if int64(g.vwgt[v]) > maxVW {
+			maxVW = int64(g.vwgt[v])
+		}
+		if side[v] == 0 {
+			w0 += int64(g.vwgt[v])
+		}
+	}
+	imb := func(w int64) float64 { return absF64(float64(w) - target) }
+	// class 0: inside the balance band (at least half the largest vertex,
+	// i.e. floor/ceil of the target for unit weights, widened by the
+	// caller's UBfactor band); class 1: within one more vertex; class 2:
+	// worse. Within class 0 the refinement is free to pick whatever
+	// balance point minimises the cut -- the METIS UBfactor semantics.
+	band0 := float64(maxVW) / 2
+	if band > band0 {
+		band0 = band
+	}
+	classOf := func(w int64) int {
+		d := imb(w)
+		switch {
+		case d <= band0:
+			return 0
+		case d <= band0+float64(maxVW):
+			return 1
+		default:
+			return 2
+		}
+	}
+
+	gain := make([]int64, n)
+	locked := make([]bool, n)
+	moves := make([]int32, 0, n)
+
+	computeGain := func(v int32) int64 {
+		adj, wgt := g.deg(v)
+		var ext, internal int64
+		for i, u := range adj {
+			if side[u] == side[v] {
+				internal += int64(wgt[i])
+			} else {
+				ext += int64(wgt[i])
+			}
+		}
+		return ext - internal
+	}
+
+	for iter := 0; iter < maxIters; iter++ {
+		for v := 0; v < n; v++ {
+			gain[v] = computeGain(int32(v))
+			locked[v] = false
+		}
+		moves = moves[:0]
+		var cumGain int64
+		// Score of the initial (empty-prefix) state.
+		bestClass, bestGain, bestImb := classOf(w0), int64(0), imb(w0)
+		bestPrefix := 0
+		improved := false
+
+		for step := 0; step < n; step++ {
+			// Select the unlocked vertex with the highest gain whose move
+			// keeps the weight within one vertex of the target, or that
+			// improves balance when we are outside that window.
+			best := int32(-1)
+			var bg int64
+			for v := int32(0); v < int32(n); v++ {
+				if locked[v] {
+					continue
+				}
+				var nw0 int64
+				if side[v] == 0 {
+					nw0 = w0 - int64(g.vwgt[v])
+				} else {
+					nw0 = w0 + int64(g.vwgt[v])
+				}
+				if imb(nw0) > band0+float64(maxVW) && imb(nw0) >= imb(w0) {
+					continue
+				}
+				if best < 0 || gain[v] > bg {
+					best, bg = v, gain[v]
+				}
+			}
+			if best < 0 {
+				break
+			}
+			if side[best] == 0 {
+				w0 -= int64(g.vwgt[best])
+				side[best] = 1
+			} else {
+				w0 += int64(g.vwgt[best])
+				side[best] = 0
+			}
+			locked[best] = true
+			moves = append(moves, best)
+			cumGain += bg
+			cls, ib := classOf(w0), imb(w0)
+			if cls < bestClass ||
+				(cls == bestClass && cumGain > bestGain) ||
+				(cls == bestClass && cumGain == bestGain && ib < bestImb) {
+				bestClass, bestGain, bestImb = cls, cumGain, ib
+				bestPrefix = len(moves)
+				improved = true
+			}
+			// Update neighbour gains.
+			gain[best] = -gain[best]
+			adj, wgt := g.deg(best)
+			for i, u := range adj {
+				if side[u] == side[best] {
+					gain[u] -= 2 * int64(wgt[i])
+				} else {
+					gain[u] += 2 * int64(wgt[i])
+				}
+			}
+		}
+		// Roll back moves after the best prefix.
+		for i := len(moves) - 1; i >= bestPrefix; i-- {
+			v := moves[i]
+			if side[v] == 0 {
+				w0 -= int64(g.vwgt[v])
+				side[v] = 1
+			} else {
+				w0 += int64(g.vwgt[v])
+				side[v] = 0
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+func absI64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func absF64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

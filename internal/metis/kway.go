@@ -1,0 +1,325 @@
+package metis
+
+import "math/rand"
+
+// kwayPartition implements multilevel K-way partitioning: coarsen the whole
+// graph, compute an initial K-way partition of the coarsest graph by
+// recursive bisection, then project back while running greedy K-way
+// refinement at every level. The refinement objective is the edgecut for
+// Method KWay and the total communication volume for Method KWayVol.
+func kwayPartition(g *wgraph, nparts int, rng *rand.Rand, opt Options) []int32 {
+	// Keep enough coarse vertices to seed every part.
+	coarsenTo := opt.CoarsenTo * nparts / 8
+	if coarsenTo < 4*nparts {
+		coarsenTo = 4 * nparts
+	}
+	levels, coarsest := coarsen(g, coarsenTo, rng)
+
+	// Initial K-way partition of the coarsest graph via recursive bisection.
+	assign := make([]int32, coarsest.n())
+	verts := make([]int32, coarsest.n())
+	for i := range verts {
+		verts[i] = int32(i)
+	}
+	recurseOn(coarsest, verts, 0, nparts, assign, rng, opt)
+
+	refine := kwayRefineCut
+	if opt.Method == KWayVol {
+		refine = kwayRefineVol
+	}
+	var maxVW int64 = 1
+	for _, w := range g.vwgt {
+		if int64(w) > maxVW {
+			maxVW = int64(w)
+		}
+	}
+	maxPart := maxPartWeight(g.totalVWgt(), nparts, opt.Imbalance, maxVW)
+	refine(coarsest, assign, nparts, maxPart, opt.RefineIters, rng)
+
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		fine := make([]int32, lv.fine.n())
+		for v := range fine {
+			fine[v] = assign[lv.cmap[v]]
+		}
+		assign = fine
+		refine(lv.fine, assign, nparts, maxPart, opt.RefineIters, rng)
+	}
+	return assign
+}
+
+// maxPartWeight returns the largest part weight the K-way refinement will
+// tolerate. Like METIS, the K-way constraint is the larger of the relative
+// tolerance avg*(1+imbalance) and the absolute slack avg+maxVW (one heaviest
+// vertex): with indivisible vertices a part can always legally exceed the
+// average by one vertex, and the refinement will use that freedom when it
+// buys edgecut. This is exactly why the paper observes imperfect KWAY load
+// balance at O(1) elements per processor while SFC stays perfect.
+func maxPartWeight(total int64, nparts int, imbalance float64, maxVW int64) int64 {
+	avg := float64(total) / float64(nparts)
+	m := int64(avg * (1 + imbalance))
+	slack := int64(avg) + maxVW
+	if m < slack {
+		m = slack
+	}
+	ceilAvg := (total + int64(nparts) - 1) / int64(nparts)
+	if m < ceilAvg {
+		m = ceilAvg
+	}
+	return m
+}
+
+// forceBalance evicts vertices from parts whose weight exceeds maxPart,
+// sending each evicted vertex to the lightest adjacent part with room (or
+// the globally lightest part when no adjacent part has room), choosing the
+// eviction with the smallest cut penalty. It runs until every part is within
+// the bound or no further move is possible.
+func forceBalance(g *wgraph, assign []int32, nparts int, maxPart int64, pwgt []int64) {
+	n := g.n()
+	conn := make([]int64, nparts)
+	touched := make([]int32, 0, 16)
+	for {
+		// Find an overweight part.
+		over := int32(-1)
+		for p := 0; p < nparts; p++ {
+			if pwgt[p] > maxPart {
+				over = int32(p)
+				break
+			}
+		}
+		if over < 0 {
+			return
+		}
+		// Choose the vertex of that part whose eviction costs the least
+		// cut, together with its best destination.
+		bestV, bestDst := int32(-1), int32(-1)
+		var bestLoss int64
+		for v := int32(0); v < int32(n); v++ {
+			if assign[v] != over {
+				continue
+			}
+			adj, wgt := g.deg(v)
+			touched = touched[:0]
+			for i, u := range adj {
+				p := assign[u]
+				if conn[p] == 0 {
+					touched = append(touched, p)
+				}
+				conn[p] += int64(wgt[i])
+			}
+			// Candidate destinations: adjacent parts with room, else the
+			// globally lightest part.
+			dst := int32(-1)
+			var dstLoss int64
+			for _, p := range touched {
+				if p == over || pwgt[p]+int64(g.vwgt[v]) > maxPart {
+					continue
+				}
+				loss := conn[over] - conn[p]
+				if dst < 0 || loss < dstLoss || (loss == dstLoss && pwgt[p] < pwgt[dst]) {
+					dst, dstLoss = p, loss
+				}
+			}
+			for _, p := range touched {
+				conn[p] = 0
+			}
+			if dst < 0 {
+				// No adjacent part has room; fall back to the lightest
+				// part overall.
+				light := int32(0)
+				for p := 1; p < nparts; p++ {
+					if pwgt[p] < pwgt[light] {
+						light = int32(p)
+					}
+				}
+				if int32(over) == light || pwgt[light]+int64(g.vwgt[v]) > maxPart {
+					continue
+				}
+				dst = light
+				dstLoss = 1 << 40 // strongly prefer adjacent destinations
+			}
+			if bestV < 0 || dstLoss < bestLoss {
+				bestV, bestDst, bestLoss = v, dst, dstLoss
+			}
+		}
+		if bestV < 0 {
+			return // stuck; cannot improve further
+		}
+		pwgt[over] -= int64(g.vwgt[bestV])
+		pwgt[bestDst] += int64(g.vwgt[bestV])
+		assign[bestV] = bestDst
+	}
+}
+
+// kwayRefineCut runs greedy K-way refinement minimising the weighted
+// edgecut (the classical Karypis-Kumar scheme): boundary vertices are
+// visited in random order and moved to the adjacent part with the largest
+// positive cut gain, subject to the balance constraint.
+func kwayRefineCut(g *wgraph, assign []int32, nparts int, maxPart int64, iters int, rng *rand.Rand) {
+	n := g.n()
+	pwgt := make([]int64, nparts)
+	for v := 0; v < n; v++ {
+		pwgt[assign[v]] += int64(g.vwgt[v])
+	}
+	forceBalance(g, assign, nparts, maxPart, pwgt)
+	// conn[p] is scratch for per-part connectivity of one vertex.
+	conn := make([]int64, nparts)
+	touched := make([]int32, 0, 16)
+
+	for iter := 0; iter < iters; iter++ {
+		moved := 0
+		for _, vi := range rng.Perm(n) {
+			v := int32(vi)
+			adj, wgt := g.deg(v)
+			if len(adj) == 0 {
+				continue
+			}
+			home := assign[v]
+			if pwgt[home] == int64(g.vwgt[v]) {
+				continue // never empty a part
+			}
+			boundary := false
+			touched = touched[:0]
+			for i, u := range adj {
+				p := assign[u]
+				if conn[p] == 0 {
+					touched = append(touched, p)
+				}
+				conn[p] += int64(wgt[i])
+				if p != home {
+					boundary = true
+				}
+			}
+			if boundary {
+				// Find the best destination part.
+				best := home
+				bestGain := int64(0)
+				for _, p := range touched {
+					if p == home {
+						continue
+					}
+					gain := conn[p] - conn[home]
+					if gain <= 0 {
+						continue
+					}
+					if pwgt[p]+int64(g.vwgt[v]) > maxPart {
+						continue
+					}
+					if gain > bestGain || (gain == bestGain && pwgt[p] < pwgt[best]) {
+						best, bestGain = p, gain
+					}
+				}
+				// Also allow zero-gain moves that improve balance.
+				if best == home {
+					for _, p := range touched {
+						if p == home || conn[p] != conn[home] {
+							continue
+						}
+						if pwgt[p]+int64(g.vwgt[v]) < pwgt[home] {
+							best = p
+							break
+						}
+					}
+				}
+				if best != home {
+					pwgt[home] -= int64(g.vwgt[v])
+					pwgt[best] += int64(g.vwgt[v])
+					assign[v] = best
+					moved++
+				}
+			}
+			for _, p := range touched {
+				conn[p] = 0
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+// kwayRefineVol runs greedy K-way refinement minimising the METIS-style
+// total communication volume: sum over vertices of vsize(v) times the number
+// of distinct remote parts among v's neighbours. Moving a vertex changes its
+// own contribution and that of its neighbours; the gain is evaluated exactly
+// on the local neighbourhood.
+func kwayRefineVol(g *wgraph, assign []int32, nparts int, maxPart int64, iters int, rng *rand.Rand) {
+	n := g.n()
+	pwgt := make([]int64, nparts)
+	for v := 0; v < n; v++ {
+		pwgt[assign[v]] += int64(g.vwgt[v])
+	}
+	forceBalance(g, assign, nparts, maxPart, pwgt)
+
+	// localVol returns the communication volume contributed by vertex v
+	// under the current assignment.
+	distinct := make(map[int32]struct{}, 8)
+	localVol := func(v int32) int64 {
+		adj, _ := g.deg(v)
+		for p := range distinct {
+			delete(distinct, p)
+		}
+		for _, u := range adj {
+			if assign[u] != assign[v] {
+				distinct[assign[u]] = struct{}{}
+			}
+		}
+		return int64(g.vsize[v]) * int64(len(distinct))
+	}
+	// neighbourhoodVol is the volume of v plus all its neighbours: the
+	// exact set whose contributions can change when v moves.
+	neighbourhoodVol := func(v int32) int64 {
+		vol := localVol(v)
+		adj, _ := g.deg(v)
+		for _, u := range adj {
+			vol += localVol(u)
+		}
+		return vol
+	}
+
+	for iter := 0; iter < iters; iter++ {
+		moved := 0
+		for _, vi := range rng.Perm(n) {
+			v := int32(vi)
+			adj, _ := g.deg(v)
+			home := assign[v]
+			if pwgt[home] == int64(g.vwgt[v]) {
+				continue // never empty a part
+			}
+			// Candidate destinations: parts of neighbours.
+			cands := map[int32]struct{}{}
+			for _, u := range adj {
+				if assign[u] != home {
+					cands[assign[u]] = struct{}{}
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			before := neighbourhoodVol(v)
+			best := home
+			bestAfter := before
+			bestPw := pwgt[home]
+			for p := range cands {
+				if pwgt[p]+int64(g.vwgt[v]) > maxPart {
+					continue
+				}
+				assign[v] = p
+				after := neighbourhoodVol(v)
+				assign[v] = home
+				if after < bestAfter || (after == bestAfter && p != home && pwgt[p] < bestPw && pwgt[p]+int64(g.vwgt[v]) < pwgt[home]) {
+					best, bestAfter, bestPw = p, after, pwgt[p]
+				}
+			}
+			if best != home {
+				pwgt[home] -= int64(g.vwgt[v])
+				pwgt[best] += int64(g.vwgt[v])
+				assign[v] = best
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}

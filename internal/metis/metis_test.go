@@ -1,0 +1,390 @@
+package metis
+
+import (
+	"math/rand"
+	"testing"
+
+	"sfccube/internal/graph"
+	"sfccube/internal/mesh"
+	"sfccube/internal/partition"
+)
+
+func meshGraph(t testing.TB, ne int) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromMesh(mesh.MustNew(ne), graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// gridGraph builds a w x h 4-connected grid with unit weights.
+func gridGraph(w, h int) *graph.Graph {
+	b := graph.NewBuilder(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				_ = b.AddEdge(id(x, y), id(x+1, y), 1)
+			}
+			if y+1 < h {
+				_ = b.AddEdge(id(x, y), id(x, y+1), 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func checkValid(t *testing.T, g *graph.Graph, p *partition.Partition, nparts int) {
+	t.Helper()
+	if p.NumParts() != nparts || p.NumVertices() != g.NumVertices() {
+		t.Fatalf("partition shape wrong: %d parts %d vertices", p.NumParts(), p.NumVertices())
+	}
+	counts := p.Counts()
+	for q, c := range counts {
+		if c == 0 {
+			t.Fatalf("part %d is empty", q)
+		}
+	}
+}
+
+func TestPartitionArgErrors(t *testing.T) {
+	g := gridGraph(4, 4)
+	if _, err := Partition(g, 0, Options{}); err == nil {
+		t.Error("nparts=0 accepted")
+	}
+	if _, err := Partition(g, 17, Options{}); err == nil {
+		t.Error("nparts > n accepted")
+	}
+	if _, err := Partition(g, 2, Options{Method: Method(99)}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if RB.String() != "RB" || KWay.String() != "KWAY" || KWayVol.String() != "TV" {
+		t.Error("method names wrong")
+	}
+}
+
+func TestSinglePart(t *testing.T) {
+	g := gridGraph(3, 3)
+	for _, m := range []Method{RB, KWay, KWayVol} {
+		p, err := Partition(g, 1, Options{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		st, _ := partition.ComputeStats(g, p)
+		if st.EdgeCut != 0 {
+			t.Errorf("%v: single part has cut %d", m, st.EdgeCut)
+		}
+	}
+}
+
+func TestRBGridBisection(t *testing.T) {
+	g := gridGraph(8, 8)
+	p, err := Partition(g, 2, Options{Method: RB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g, p, 2)
+	st, _ := partition.ComputeStats(g, p)
+	// Perfect balance is achievable and required for a uniform grid.
+	if st.MaxNelemd != 32 || st.MinNelemd != 32 {
+		t.Errorf("bisection counts %d/%d, want 32/32", st.MinNelemd, st.MaxNelemd)
+	}
+	// The optimal cut of an 8x8 grid bisection is 8; multilevel FM should
+	// get within 2x of optimal.
+	if st.EdgeCut > 16 {
+		t.Errorf("bisection cut %d, want <= 16", st.EdgeCut)
+	}
+}
+
+func TestRBBalanceOnMesh(t *testing.T) {
+	g := meshGraph(t, 8) // K=384
+	for _, nparts := range []int{2, 4, 8, 16, 96} {
+		p, err := Partition(g, nparts, Options{Method: RB})
+		if err != nil {
+			t.Fatalf("nparts=%d: %v", nparts, err)
+		}
+		checkValid(t, g, p, nparts)
+		st, _ := partition.ComputeStats(g, p)
+		// RB is "best for load balancing": the UBfactor band lets each
+		// bisection keep up to 0.5% imbalance, so the spread stays within
+		// a couple of elements of perfect.
+		if st.MaxNelemd-st.MinNelemd > 3 {
+			t.Errorf("nparts=%d: RB spread %d..%d", nparts, st.MinNelemd, st.MaxNelemd)
+		}
+	}
+}
+
+func TestKWayRespectsBalanceConstraint(t *testing.T) {
+	g := meshGraph(t, 8)
+	for _, nparts := range []int{4, 16, 48, 96} {
+		for _, m := range []Method{KWay, KWayVol} {
+			p, err := Partition(g, nparts, Options{Method: m})
+			if err != nil {
+				t.Fatalf("%v nparts=%d: %v", m, nparts, err)
+			}
+			checkValid(t, g, p, nparts)
+			maxAllowed := maxPartWeight(int64(g.NumVertices()), nparts, 0.03, 1)
+			st, _ := partition.ComputeStats(g, p)
+			if int64(st.MaxNelemd) > maxAllowed {
+				t.Errorf("%v nparts=%d: max part %d exceeds bound %d",
+					m, nparts, st.MaxNelemd, maxAllowed)
+			}
+			_ = st
+		}
+	}
+}
+
+func TestPartitioningBeatsRandom(t *testing.T) {
+	g := meshGraph(t, 8)
+	nparts := 24
+	rng := rand.New(rand.NewSource(7))
+	randAssign := make([]int32, g.NumVertices())
+	for i := range randAssign {
+		randAssign[i] = int32(rng.Intn(nparts))
+	}
+	randPart, _ := partition.FromAssignment(randAssign, nparts)
+	randStats, _ := partition.ComputeStats(g, randPart)
+	for _, m := range []Method{RB, KWay, KWayVol} {
+		p, err := Partition(g, nparts, Options{Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, _ := partition.ComputeStats(g, p)
+		if st.EdgeCut*2 > randStats.EdgeCut {
+			t.Errorf("%v edgecut %d not clearly better than random %d",
+				m, st.EdgeCut, randStats.EdgeCut)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	g := meshGraph(t, 4)
+	for _, m := range []Method{RB, KWay, KWayVol} {
+		a, err := Partition(g, 12, Options{Method: m, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Partition(g, 12, Options{Method: m, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if a.Part(v) != b.Part(v) {
+				t.Fatalf("%v: vertex %v differs between runs with same seed", m, v)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsStillValid(t *testing.T) {
+	g := meshGraph(t, 4)
+	for seed := int64(1); seed <= 5; seed++ {
+		p, err := Partition(g, 8, Options{Method: KWay, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkValid(t, g, p, 8)
+	}
+}
+
+func TestWeightedVertices(t *testing.T) {
+	// Two heavy vertices must land in different parts for balance.
+	b := graph.NewBuilder(6)
+	b.SetVertexWeight(0, 10)
+	b.SetVertexWeight(5, 10)
+	for i := 0; i < 5; i++ {
+		_ = b.AddEdge(i, i+1, 1)
+	}
+	g := b.Build()
+	p, err := Partition(g, 2, Options{Method: RB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Part(0) == p.Part(5) {
+		t.Error("heavy vertices in same part; balance impossible")
+	}
+	w := p.WeightedCounts(g.VertexWeight)
+	if absI64(w[0]-w[1]) > 2 {
+		t.Errorf("weighted split %v too uneven", w)
+	}
+}
+
+func TestCoarsenPreservesTotals(t *testing.T) {
+	g := fromGraph(gridGraph(10, 10))
+	rng := rand.New(rand.NewSource(3))
+	levels, coarsest := coarsen(g, 10, rng)
+	if len(levels) == 0 {
+		t.Fatal("no coarsening happened on a 100-vertex grid")
+	}
+	if coarsest.totalVWgt() != g.totalVWgt() {
+		t.Errorf("coarse total weight %d != fine %d", coarsest.totalVWgt(), g.totalVWgt())
+	}
+	// Each level must shrink and keep symmetric adjacency.
+	prev := g.n()
+	for _, lv := range levels {
+		if lv.coarse.n() >= prev {
+			t.Errorf("level did not shrink: %d -> %d", prev, lv.coarse.n())
+		}
+		prev = lv.coarse.n()
+		checkSymmetric(t, lv.coarse)
+		// cmap must be a valid surjection.
+		seen := make([]bool, lv.coarse.n())
+		for _, c := range lv.cmap {
+			if c < 0 || int(c) >= lv.coarse.n() {
+				t.Fatal("cmap out of range")
+			}
+			seen[c] = true
+		}
+		for c, s := range seen {
+			if !s {
+				t.Fatalf("coarse vertex %d has no fine members", c)
+			}
+		}
+	}
+}
+
+func checkSymmetric(t *testing.T, g *wgraph) {
+	t.Helper()
+	for v := int32(0); v < int32(g.n()); v++ {
+		adj, wgt := g.deg(v)
+		for i, u := range adj {
+			if u == v {
+				t.Fatalf("self-loop on coarse vertex %d", v)
+			}
+			// Find reverse edge.
+			radj, rwgt := g.deg(u)
+			found := false
+			for j, w := range radj {
+				if w == v {
+					if rwgt[j] != wgt[i] {
+						t.Fatalf("asymmetric weight (%d,%d): %d vs %d", v, u, wgt[i], rwgt[j])
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) has no reverse", v, u)
+			}
+		}
+	}
+}
+
+// Coarsening must preserve the total exterior edge weight of any vertex
+// subset that maps cleanly... simpler invariant: total edge weight halves
+// only by removing matched internal edges.
+func TestContractEdgeWeightConservation(t *testing.T) {
+	g := fromGraph(gridGraph(6, 6))
+	rng := rand.New(rand.NewSource(5))
+	cmap, nc := heavyEdgeMatch(g, rng)
+	coarse := contract(g, cmap, nc)
+	// Sum of coarse edge weights = sum of fine edge weights between
+	// different coarse vertices.
+	var fineCross, coarseTotal int64
+	for v := int32(0); v < int32(g.n()); v++ {
+		adj, wgt := g.deg(v)
+		for i, u := range adj {
+			if cmap[u] != cmap[v] {
+				fineCross += int64(wgt[i])
+			}
+		}
+	}
+	for v := int32(0); v < int32(coarse.n()); v++ {
+		_, wgt := coarse.deg(v)
+		for _, w := range wgt {
+			coarseTotal += int64(w)
+		}
+	}
+	if fineCross != coarseTotal {
+		t.Errorf("cross edge weight %d != coarse total %d", fineCross, coarseTotal)
+	}
+}
+
+func TestFMImprovesBadBisection(t *testing.T) {
+	g := fromGraph(gridGraph(8, 8))
+	// Pathological start: odd/even interleaved sides (maximal cut).
+	side := make([]int8, g.n())
+	for i := range side {
+		side[i] = int8(i % 2)
+	}
+	before := cutOf(g, side)
+	fmRefine(g, side, 32, 0, 10)
+	after := cutOf(g, side)
+	if after >= before {
+		t.Fatalf("FM did not improve cut: %d -> %d", before, after)
+	}
+	if after > 16 {
+		t.Errorf("FM left cut %d, want <= 16", after)
+	}
+	// Balance preserved.
+	var w0 int64
+	for v, s := range side {
+		if s == 0 {
+			w0 += int64(g.vwgt[v])
+		}
+	}
+	if absI64(w0-32) > 1 {
+		t.Errorf("FM broke balance: w0=%d", w0)
+	}
+}
+
+func TestMaxPartWeight(t *testing.T) {
+	// The absolute slack of one heaviest vertex always applies (METIS
+	// semantics for indivisible vertices).
+	if got := maxPartWeight(100, 10, 0.0, 1); got != 11 {
+		t.Errorf("unit slack: %d", got)
+	}
+	if got := maxPartWeight(100, 10, 0.2, 1); got != 12 {
+		t.Errorf("20%%: %d", got)
+	}
+	if got := maxPartWeight(100, 10, 0.0, 5); got != 15 {
+		t.Errorf("heavy vertex slack: %d", got)
+	}
+	// Never below ceil(avg).
+	if got := maxPartWeight(101, 100, 0.0, 1); got != 2 {
+		t.Errorf("ceil: %d", got)
+	}
+}
+
+func TestKWayOnPaperResolution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("K=1536 partitioning in short mode")
+	}
+	g := meshGraph(t, 16) // K=1536
+	for _, m := range []Method{RB, KWay, KWayVol} {
+		p, err := Partition(g, 768, Options{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		checkValid(t, g, p, 768)
+		st, _ := partition.ComputeStats(g, p)
+		t.Logf("%v: %v", m, st)
+		if st.MaxNelemd > 4 {
+			t.Errorf("%v: some processor got %d elements (avg 2)", m, st.MaxNelemd)
+		}
+	}
+}
+
+func BenchmarkRBK384P96(b *testing.B) {
+	g := meshGraph(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(g, 96, Options{Method: RB}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKWayK384P96(b *testing.B) {
+	g := meshGraph(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(g, 96, Options{Method: KWay}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

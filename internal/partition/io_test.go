@@ -1,0 +1,92 @@
+package partition
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	p, _ := FromAssignment([]int32{0, 2, 1, 1, 0, 2}, 3)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumParts() != 3 || q.NumVertices() != 6 {
+		t.Fatalf("shape wrong after round trip")
+	}
+	for v := 0; v < 6; v++ {
+		if q.Part(v) != p.Part(v) {
+			t.Fatalf("vertex %d differs", v)
+		}
+	}
+}
+
+func TestReadFromErrors(t *testing.T) {
+	cases := []string{
+		"",            // empty
+		"abc\n",       // bad header
+		"3\n",         // short header
+		"2 2\n0\n",    // missing vertices
+		"1 2\n0\n1\n", // too many vertices
+		"2 2\n0\nx\n", // bad index
+		"2 2\n0\n5\n", // out-of-range part
+		"-1 2\n",      // negative count
+		"2 0\n0\n0\n", // nparts < 1
+	}
+	for _, c := range cases {
+		if _, err := ReadFrom(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}
+
+func TestReadFromSkipsBlankLines(t *testing.T) {
+	p, err := ReadFrom(strings.NewReader("2 2\n0\n\n1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Part(0) != 0 || p.Part(1) != 1 {
+		t.Error("blank-line handling wrong")
+	}
+}
+
+// Property: round trip preserves arbitrary valid partitions.
+func TestIORoundTripProperty(t *testing.T) {
+	f := func(raw []uint8, rawParts uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		nparts := 1 + int(rawParts)%8
+		assign := make([]int32, len(raw))
+		for i, v := range raw {
+			assign[i] = int32(int(v) % nparts)
+		}
+		p, err := FromAssignment(assign, nparts)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := p.WriteTo(&buf); err != nil {
+			return false
+		}
+		q, err := ReadFrom(&buf)
+		if err != nil {
+			return false
+		}
+		for v := range assign {
+			if q.Part(v) != p.Part(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

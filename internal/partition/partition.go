@@ -1,0 +1,200 @@
+// Package partition defines the partition representation and the quality
+// metrics of Dennis (IPPS 2003, section 2): the load-balance measure of
+// equation (1), edgecut, and total communication volume, together with the
+// contiguous-segment splitting used by the space-filling-curve partitioner.
+package partition
+
+import "fmt"
+
+// Partition assigns each of n vertices (spectral elements) to one of
+// nparts parts (processors).
+type Partition struct {
+	nparts int
+	assign []int32
+}
+
+// New creates a partition of n vertices into nparts parts, all initially
+// assigned to part 0.
+func New(n, nparts int) *Partition {
+	return &Partition{nparts: nparts, assign: make([]int32, n)}
+}
+
+// FromAssignment wraps an existing assignment slice. Every entry must lie in
+// [0, nparts).
+func FromAssignment(assign []int32, nparts int) (*Partition, error) {
+	if nparts < 1 {
+		return nil, fmt.Errorf("partition: nparts must be >= 1, got %d", nparts)
+	}
+	for v, p := range assign {
+		if p < 0 || int(p) >= nparts {
+			return nil, fmt.Errorf("partition: vertex %d assigned to part %d, want [0,%d)", v, p, nparts)
+		}
+	}
+	return &Partition{nparts: nparts, assign: assign}, nil
+}
+
+// NumParts returns the number of parts.
+func (p *Partition) NumParts() int { return p.nparts }
+
+// NumVertices returns the number of vertices.
+func (p *Partition) NumVertices() int { return len(p.assign) }
+
+// Part returns the part of vertex v.
+func (p *Partition) Part(v int) int { return int(p.assign[v]) }
+
+// SetPart assigns vertex v to part q.
+func (p *Partition) SetPart(v, q int) { p.assign[v] = int32(q) }
+
+// Assignment returns the underlying assignment slice (owned by the
+// partition; callers must not modify it).
+func (p *Partition) Assignment() []int32 { return p.assign }
+
+// Counts returns the number of vertices in each part.
+func (p *Partition) Counts() []int {
+	c := make([]int, p.nparts)
+	for _, q := range p.assign {
+		c[q]++
+	}
+	return c
+}
+
+// WeightedCounts returns the total vertex weight in each part.
+func (p *Partition) WeightedCounts(vwgt func(v int) int32) []int64 {
+	c := make([]int64, p.nparts)
+	for v, q := range p.assign {
+		c[q] += int64(vwgt(v))
+	}
+	return c
+}
+
+// Clone returns a deep copy of the partition.
+func (p *Partition) Clone() *Partition {
+	return &Partition{nparts: p.nparts, assign: append([]int32(nil), p.assign...)}
+}
+
+// LoadBalance computes equation (1) of the paper for a set S:
+//
+//	LB(S) = (max{S} - avg{S}) / max{S}
+//
+// A perfectly balanced set has LB = 0; larger values mean worse balance. An
+// empty or all-zero set has LB = 0 by convention.
+func LoadBalance(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	max, sum := s[0], 0.0
+	for _, v := range s {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if max <= 0 {
+		return 0
+	}
+	avg := sum / float64(len(s))
+	return (max - avg) / max
+}
+
+// LoadBalanceInt64 is LoadBalance over integer observations.
+func LoadBalanceInt64(s []int64) float64 {
+	f := make([]float64, len(s))
+	for i, v := range s {
+		f[i] = float64(v)
+	}
+	return LoadBalance(f)
+}
+
+// LoadBalanceInts is LoadBalance over int observations.
+func LoadBalanceInts(s []int) float64 {
+	f := make([]float64, len(s))
+	for i, v := range s {
+		f[i] = float64(v)
+	}
+	return LoadBalance(f)
+}
+
+// SplitContiguous divides the sequence 0..len(weights)-1 into nparts
+// contiguous, non-empty segments with near-equal total weight and returns the
+// part index of every position. This is the final step of the SFC algorithm:
+// "The space-filling curve is then subdivided into equal sized segments to
+// achieve the partitioning."
+//
+// For uniform weights the split is exact: every part receives either
+// floor(n/nparts) or ceil(n/nparts) items. For non-uniform weights a greedy
+// prefix walk cuts each segment at the point that brings its weight closest
+// to the remaining average, while always leaving enough items for the
+// remaining parts.
+func SplitContiguous(weights []int64, nparts int) ([]int32, error) {
+	n := len(weights)
+	if nparts < 1 {
+		return nil, fmt.Errorf("partition: nparts must be >= 1, got %d", nparts)
+	}
+	if nparts > n {
+		return nil, fmt.Errorf("partition: cannot split %d items into %d non-empty parts", n, nparts)
+	}
+	uniform := true
+	var total int64
+	for _, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("partition: non-positive weight %d", w)
+		}
+		if w != weights[0] {
+			uniform = false
+		}
+		total += w
+	}
+	assign := make([]int32, n)
+	if uniform {
+		// Exact balanced blocks: position i goes to part i*nparts/n.
+		for i := range assign {
+			assign[i] = int32(i * nparts / n)
+		}
+		return assign, nil
+	}
+	// Greedy: for each part, extend the segment while the running weight is
+	// closer to the remaining average than stopping, keeping one item per
+	// remaining part available.
+	pos := 0
+	remaining := total
+	for part := 0; part < nparts; part++ {
+		partsLeft := nparts - part
+		target := float64(remaining) / float64(partsLeft)
+		// The last part takes everything left.
+		if part == nparts-1 {
+			for ; pos < n; pos++ {
+				assign[pos] = int32(part)
+			}
+			break
+		}
+		var acc int64
+		start := pos
+		for pos < n-(partsLeft-1) {
+			w := weights[pos]
+			// Always take at least one item.
+			if pos == start {
+				acc += w
+				assign[pos] = int32(part)
+				pos++
+				continue
+			}
+			// Take the next item only if it brings us closer to target.
+			if absF(float64(acc+w)-target) <= absF(float64(acc)-target) {
+				acc += w
+				assign[pos] = int32(part)
+				pos++
+				continue
+			}
+			break
+		}
+		remaining -= acc
+	}
+	return assign, nil
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

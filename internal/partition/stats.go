@@ -1,0 +1,155 @@
+package partition
+
+import (
+	"fmt"
+	"strings"
+
+	"sfccube/internal/graph"
+)
+
+// Stats collects the partition quality metrics the paper reports in Table 2.
+type Stats struct {
+	NParts int
+
+	// Nelemd is the number of vertices (spectral elements) per part.
+	Nelemd []int
+	// LBNelemd is the computational load balance, equation (1) applied to
+	// the weighted vertex count of each part.
+	LBNelemd float64
+
+	// Spcv is the single-processor communication volume per part: the
+	// weighted volume of cut edges incident to the part (what each
+	// processor must exchange every time-step).
+	Spcv []int64
+	// LBSpcv is the communication load balance, equation (1) applied to
+	// Spcv.
+	LBSpcv float64
+
+	// EdgeCut is the weighted edgecut: the total weight of graph edges
+	// that straddle parts.
+	EdgeCut int64
+	// EdgeCutUnweighted is the plain number of straddling edges.
+	EdgeCutUnweighted int64
+
+	// TotalCommVolume is the METIS-style total communication volume:
+	// sum over vertices of vsize(v) times the number of distinct remote
+	// parts adjacent to v.
+	TotalCommVolume int64
+	// CutVertices is the paper's simplified definition: the number of
+	// vertices with at least one cut edge.
+	CutVertices int64
+
+	// MaxNelemd and MinNelemd are the extreme per-part vertex counts.
+	MaxNelemd, MinNelemd int
+
+	// DisconnectedParts is the number of parts whose vertices do not form
+	// a single connected sub-graph. Disconnected parts pay communication
+	// for internal coherence; SFC partitions are connected by construction
+	// (contiguous curve segments of a continuous curve), while K-way
+	// refinement can fragment parts.
+	DisconnectedParts int
+	// MaxComponents is the largest number of connected components in any
+	// single part.
+	MaxComponents int
+}
+
+// ComputeStats evaluates all quality metrics of partition p on graph g.
+func ComputeStats(g *graph.Graph, p *Partition) (Stats, error) {
+	n := g.NumVertices()
+	if p.NumVertices() != n {
+		return Stats{}, fmt.Errorf("partition: %d vertices but graph has %d", p.NumVertices(), n)
+	}
+	st := Stats{NParts: p.NumParts()}
+	st.Nelemd = p.Counts()
+	weighted := p.WeightedCounts(g.VertexWeight)
+	st.LBNelemd = LoadBalanceInt64(weighted)
+
+	st.Spcv = make([]int64, p.NumParts())
+	distinct := make(map[int32]bool, 8)
+	for v := 0; v < n; v++ {
+		pv := p.Part(v)
+		adj, wts := g.Adj(v), g.AdjWeights(v)
+		cut := false
+		for k := range distinct {
+			delete(distinct, k)
+		}
+		for i, u := range adj {
+			pu := p.Part(int(u))
+			if pu != pv {
+				cut = true
+				st.Spcv[pv] += int64(wts[i])
+				st.EdgeCut += int64(wts[i]) // counted once per direction; halved below
+				st.EdgeCutUnweighted++
+				distinct[int32(pu)] = true
+			}
+		}
+		if cut {
+			st.CutVertices++
+			st.TotalCommVolume += int64(g.VertexSize(v)) * int64(len(distinct))
+		}
+	}
+	st.EdgeCut /= 2
+	st.EdgeCutUnweighted /= 2
+	st.LBSpcv = LoadBalanceInt64(st.Spcv)
+
+	st.MaxNelemd, st.MinNelemd = st.Nelemd[0], st.Nelemd[0]
+	for _, c := range st.Nelemd {
+		if c > st.MaxNelemd {
+			st.MaxNelemd = c
+		}
+		if c < st.MinNelemd {
+			st.MinNelemd = c
+		}
+	}
+
+	// Connected components per part: BFS over same-part edges.
+	comp := componentsPerPart(g, p)
+	st.MaxComponents = 1
+	for _, c := range comp {
+		if c > 1 {
+			st.DisconnectedParts++
+		}
+		if c > st.MaxComponents {
+			st.MaxComponents = c
+		}
+	}
+	return st, nil
+}
+
+// componentsPerPart returns, for every part, the number of connected
+// components its vertex set induces in g. Empty parts count as zero
+// components.
+func componentsPerPart(g *graph.Graph, p *Partition) []int {
+	n := g.NumVertices()
+	comp := make([]int, p.NumParts())
+	visited := make([]bool, n)
+	queue := make([]int32, 0, 64)
+	for v := 0; v < n; v++ {
+		if visited[v] {
+			continue
+		}
+		pv := p.Part(v)
+		comp[pv]++
+		visited[v] = true
+		queue = append(queue[:0], int32(v))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Adj(int(u)) {
+				if !visited[w] && p.Part(int(w)) == pv {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// String renders the Table-2 style summary of the statistics.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "parts=%d nelemd=[%d..%d] LB(nelemd)=%.4f LB(spcv)=%.4f edgecut=%d tcv=%d",
+		s.NParts, s.MinNelemd, s.MaxNelemd, s.LBNelemd, s.LBSpcv, s.EdgeCut, s.TotalCommVolume)
+	return b.String()
+}

@@ -1,0 +1,292 @@
+package seam
+
+import (
+	"fmt"
+
+	"sfccube/internal/mesh"
+)
+
+// DSS performs direct stiffness summation: the global assembly that imposes
+// C0 continuity along element boundaries. GLL points shared between elements
+// (whole edges for boundary neighbours, single points for corner neighbours)
+// are identified topologically through the mesh's exact corner-node keys, so
+// assembly works across cube edges and at cube corners without any geometric
+// tolerance.
+//
+// Applying the DSS replaces every shared point's value with the
+// mass-weighted average of the values all touching elements hold for it --
+// the standard spectral element projection onto the continuous basis.
+type DSS struct {
+	g *Grid
+
+	// nodeOf maps (elem*npts + idx) to a global node id.
+	nodeOf []int32
+	// shared lists, for every global node touched by more than one
+	// element, the element points that meet there and their mass weights.
+	shared []sharedNode
+	// sharedBytes is the number of 8-byte values crossing element
+	// boundaries in one DSS application (both directions), used by the
+	// communication accounting.
+	numNodes int
+}
+
+type sharedNode struct {
+	pts  []int32 // elem*npts + idx
+	mass []float64
+}
+
+// NewDSS builds the assembly structure for grid g.
+func NewDSS(g *Grid) (*DSS, error) {
+	k := g.NumElems()
+	np := g.Np
+	npts := np * np
+	total := k * npts
+
+	// Union-find over all element points.
+	parent := make([]int32, total)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	pt := func(e int, a, b int) int32 { return int32(e*npts + b*np + a) }
+
+	// cornerIdx maps a local corner number (0=BL, 1=BR, 2=TR, 3=TL; the
+	// order of mesh.CornerNodes) to the GLL point at that corner.
+	cornerIdx := func(e int, c int) int32 {
+		switch c {
+		case 0:
+			return pt(e, 0, 0)
+		case 1:
+			return pt(e, np-1, 0)
+		case 2:
+			return pt(e, np-1, np-1)
+		default:
+			return pt(e, 0, np-1)
+		}
+	}
+	// edgePoints returns the np GLL point ids along the local edge from
+	// corner c0 to corner c1 (consecutive corners in CCW order, either
+	// direction), in that direction.
+	edgePoints := func(e, c0, c1 int) ([]int32, error) {
+		out := make([]int32, np)
+		fill := func(f func(t int) int32) {
+			for t := 0; t < np; t++ {
+				out[t] = f(t)
+			}
+		}
+		switch {
+		case c0 == 0 && c1 == 1: // bottom, left to right
+			fill(func(t int) int32 { return pt(e, t, 0) })
+		case c0 == 1 && c1 == 0:
+			fill(func(t int) int32 { return pt(e, np-1-t, 0) })
+		case c0 == 1 && c1 == 2: // right, bottom to top
+			fill(func(t int) int32 { return pt(e, np-1, t) })
+		case c0 == 2 && c1 == 1:
+			fill(func(t int) int32 { return pt(e, np-1, np-1-t) })
+		case c0 == 2 && c1 == 3: // top, right to left
+			fill(func(t int) int32 { return pt(e, np-1-t, np-1) })
+		case c0 == 3 && c1 == 2:
+			fill(func(t int) int32 { return pt(e, t, np-1) })
+		case c0 == 3 && c1 == 0: // left, top to bottom
+			fill(func(t int) int32 { return pt(e, 0, np-1-t) })
+		case c0 == 0 && c1 == 3:
+			fill(func(t int) int32 { return pt(e, 0, t) })
+		default:
+			return nil, fmt.Errorf("seam: corners %d,%d are not an element edge", c0, c1)
+		}
+		return out, nil
+	}
+
+	// For each edge-adjacent pair, unify the GLL points of the shared edge
+	// in matching order; for each corner-adjacent pair, unify the shared
+	// corner point.
+	m := g.M
+	for e := 0; e < k; e++ {
+		id := mesh.ElemID(e)
+		cn := m.CornerNodes(id)
+		for _, nb := range m.EdgeNeighbors(id) {
+			if nb <= id {
+				continue // each pair once
+			}
+			cnb := m.CornerNodes(nb)
+			// Shared corner nodes.
+			var mineC, theirsC []int
+			for i, a := range cn {
+				for j, b := range cnb {
+					if a == b {
+						mineC = append(mineC, i)
+						theirsC = append(theirsC, j)
+					}
+				}
+			}
+			if len(mineC) != 2 {
+				return nil, fmt.Errorf("seam: edge neighbours %d,%d share %d corners", id, nb, len(mineC))
+			}
+			myEdge, err := edgePoints(e, mineC[0], mineC[1])
+			if err != nil {
+				return nil, err
+			}
+			theirEdge, err := edgePoints(int(nb), theirsC[0], theirsC[1])
+			if err != nil {
+				return nil, err
+			}
+			for t := 0; t < np; t++ {
+				union(myEdge[t], theirEdge[t])
+			}
+		}
+		for _, nb := range m.CornerNeighbors(id) {
+			if nb <= id {
+				continue
+			}
+			cnb := m.CornerNodes(nb)
+			for i, a := range cn {
+				for j, b := range cnb {
+					if a == b {
+						union(cornerIdx(e, i), cornerIdx(int(nb), j))
+					}
+				}
+			}
+		}
+	}
+
+	// Number the roots densely and build shared-node lists.
+	d := &DSS{g: g, nodeOf: make([]int32, total)}
+	rootID := make(map[int32]int32, total)
+	for i := int32(0); i < int32(total); i++ {
+		r := find(i)
+		gid, ok := rootID[r]
+		if !ok {
+			gid = int32(len(rootID))
+			rootID[r] = gid
+		}
+		d.nodeOf[i] = gid
+	}
+	d.numNodes = len(rootID)
+	members := make([][]int32, d.numNodes)
+	for i := int32(0); i < int32(total); i++ {
+		gid := d.nodeOf[i]
+		members[gid] = append(members[gid], i)
+	}
+	for _, pts := range members {
+		if len(pts) < 2 {
+			continue
+		}
+		sn := sharedNode{pts: pts, mass: make([]float64, len(pts))}
+		for i, p := range pts {
+			e := int(p) / npts
+			idx := int(p) % npts
+			sn.mass[i] = g.MassWeight(e, idx%np, idx/np)
+		}
+		d.shared = append(d.shared, sn)
+	}
+	return d, nil
+}
+
+// NumGlobalNodes returns the number of distinct global GLL points.
+func (d *DSS) NumGlobalNodes() int { return d.numNodes }
+
+// NumSharedNodes returns the number of global points touched by more than
+// one element.
+func (d *DSS) NumSharedNodes() int { return len(d.shared) }
+
+// GlobalNode returns the global node id of point idx of element e.
+func (d *DSS) GlobalNode(e, idx int) int32 {
+	return d.nodeOf[e*d.g.PointsPerElem()+idx]
+}
+
+// Apply projects field q onto the continuous basis: every shared point is
+// replaced by the mass-weighted average of the element-local values.
+func (d *DSS) Apply(q [][]float64) {
+	npts := d.g.PointsPerElem()
+	for _, sn := range d.shared {
+		var num, den float64
+		for i, p := range sn.pts {
+			num += sn.mass[i] * q[int(p)/npts][int(p)%npts]
+			den += sn.mass[i]
+		}
+		avg := num / den
+		for _, p := range sn.pts {
+			q[int(p)/npts][int(p)%npts] = avg
+		}
+	}
+}
+
+// ApplyAll applies the projection to several scalar fields.
+func (d *DSS) ApplyAll(fields ...[][]float64) {
+	for _, f := range fields {
+		d.Apply(f)
+	}
+}
+
+// ApplyVector projects a covariant vector field (v1, v2) onto the continuous
+// basis. Unlike scalars, covariant components cannot be averaged directly at
+// points shared between cube faces: the coordinate bases of the two faces
+// differ there, so the same physical vector has different components on each
+// side. The projection therefore reconstructs the physical 3-D vector
+// V = u^1 Ea + u^2 Eb at every member point, mass-averages the 3-D vectors,
+// and projects the average back onto each element's own basis -- the
+// component-rotation treatment SEAM applies at cube edges. Within a face the
+// bases agree and this reduces to the scalar average.
+func (d *DSS) ApplyVector(v1, v2 [][]float64) {
+	g := d.g
+	npts := g.PointsPerElem()
+	for _, sn := range d.shared {
+		var sx, sy, sz, den float64
+		for i, p := range sn.pts {
+			e, idx := int(p)/npts, int(p)%npts
+			u1 := g.GI11[e][idx]*v1[e][idx] + g.GI12[e][idx]*v2[e][idx]
+			u2 := g.GI12[e][idx]*v1[e][idx] + g.GI22[e][idx]*v2[e][idx]
+			ea, eb := g.Ea[e][idx], g.Eb[e][idx]
+			m := sn.mass[i]
+			sx += m * (u1*ea.X + u2*eb.X)
+			sy += m * (u1*ea.Y + u2*eb.Y)
+			sz += m * (u1*ea.Z + u2*eb.Z)
+			den += m
+		}
+		sx, sy, sz = sx/den, sy/den, sz/den
+		for _, p := range sn.pts {
+			e, idx := int(p)/npts, int(p)%npts
+			ea, eb := g.Ea[e][idx], g.Eb[e][idx]
+			v1[e][idx] = sx*ea.X + sy*ea.Y + sz*ea.Z
+			v2[e][idx] = sx*eb.X + sy*eb.Y + sz*eb.Z
+		}
+	}
+}
+
+// MaxDiscontinuity returns the largest absolute difference between the
+// element-local values meeting at any shared point: a continuity diagnostic
+// that is zero (to roundoff) after Apply.
+func (d *DSS) MaxDiscontinuity(q [][]float64) float64 {
+	npts := d.g.PointsPerElem()
+	var worst float64
+	for _, sn := range d.shared {
+		lo, hi := +1e308, -1e308
+		for _, p := range sn.pts {
+			v := q[int(p)/npts][int(p)%npts]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo > worst {
+			worst = hi - lo
+		}
+	}
+	return worst
+}

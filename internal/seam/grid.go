@@ -1,0 +1,250 @@
+package seam
+
+import (
+	"fmt"
+	"math"
+
+	"sfccube/internal/mesh"
+)
+
+// EarthRadius is the radius used by the standard shallow-water test cases
+// (Williamson et al. 1992), in metres.
+const EarthRadius = 6.37122e6
+
+// EarthOmega is the Earth's rotation rate in 1/s.
+const EarthOmega = 7.292e-5
+
+// Gravity is the gravitational acceleration in m/s^2.
+const Gravity = 9.80616
+
+// Grid is the spectral element grid: a cubed-sphere mesh with an Np x Np
+// GLL grid inside every element, plus all geometric factors of the
+// equiangular gnomonic mapping evaluated at every GLL point.
+//
+// Index conventions: element point (a, b), with a the alpha index and b the
+// beta index, is stored at flat index b*Np + a. Coordinate 1 is alpha,
+// coordinate 2 is beta.
+type Grid struct {
+	M      *mesh.Mesh
+	GLL    *GLL
+	Radius float64 // sphere radius (m)
+	Omega  float64 // rotation rate (1/s); Coriolis f = 2*Omega*sin(lat)
+
+	Np int // GLL points per element edge
+
+	// Per element (indexed by mesh.ElemID), per GLL point arrays:
+	Pos   [][]mesh.Vec3 // position on the sphere of radius Radius
+	Ea    [][]mesh.Vec3 // covariant basis vector d(Pos)/d(alpha)
+	Eb    [][]mesh.Vec3 // covariant basis vector d(Pos)/d(beta)
+	SqrtG [][]float64   // area Jacobian sqrt(det g)
+	G11   [][]float64   // covariant metric g_11 = Ea.Ea
+	G12   [][]float64   // covariant metric g_12 = Ea.Eb
+	G22   [][]float64   // covariant metric g_22 = Eb.Eb
+	GI11  [][]float64   // contravariant metric (inverse of g)
+	GI12  [][]float64
+	GI22  [][]float64
+	Cor   [][]float64 // Coriolis parameter f = 2*Omega*z/Radius
+
+	// DAlpha is the angular width of one element, pi/2 / Ne. The GLL
+	// reference derivative d/dxi converts to d/dalpha via 2/DAlpha.
+	DAlpha float64
+}
+
+// NewGrid builds the spectral element grid for a cubed-sphere with ne
+// elements per face edge and polynomial degree n (np = n+1 points per edge),
+// on a sphere of the given radius and rotation rate.
+func NewGrid(ne, n int, radius, omega float64) (*Grid, error) {
+	m, err := mesh.New(ne)
+	if err != nil {
+		return nil, err
+	}
+	gll, err := NewGLL(n)
+	if err != nil {
+		return nil, err
+	}
+	if radius <= 0 {
+		return nil, fmt.Errorf("seam: radius must be positive, got %v", radius)
+	}
+	g := &Grid{
+		M:      m,
+		GLL:    gll,
+		Radius: radius,
+		Omega:  omega,
+		Np:     gll.Np(),
+		DAlpha: math.Pi / 2 / float64(ne),
+	}
+	g.buildGeometry()
+	return g, nil
+}
+
+// NumElems returns the number of spectral elements.
+func (g *Grid) NumElems() int { return g.M.NumElems() }
+
+// PointsPerElem returns Np*Np.
+func (g *Grid) PointsPerElem() int { return g.Np * g.Np }
+
+// elemAngles returns the equiangular coordinates (alpha, beta) of GLL point
+// (a, b) of element e.
+func (g *Grid) elemAngles(e mesh.ElemID, a, b int) (alpha, beta float64) {
+	el := g.M.Elem(e)
+	a0 := -math.Pi/4 + g.DAlpha*float64(el.I)
+	b0 := -math.Pi/4 + g.DAlpha*float64(el.J)
+	alpha = a0 + g.DAlpha*(g.GLL.Points[a]+1)/2
+	beta = b0 + g.DAlpha*(g.GLL.Points[b]+1)/2
+	return alpha, beta
+}
+
+// pointAndBasis evaluates the sphere position and the covariant basis
+// vectors dP/dalpha, dP/dbeta of face f at equiangular coordinates
+// (alpha, beta), scaled to the grid's radius.
+func (g *Grid) pointAndBasis(f mesh.Face, alpha, beta float64) (p, ea, eb mesh.Vec3) {
+	x := math.Tan(alpha)
+	y := math.Tan(beta)
+	c := mesh.CubePoint(f, x, y)
+	r := c.Norm()
+	p = c.Scale(g.Radius / r)
+	// dC/dalpha = (1+x^2) * u, dC/dbeta = (1+y^2) * v where (u, v) is the
+	// face frame; dP/ds = R * (C'/r - C (C.C')/r^3).
+	u := mesh.CubePoint(f, 1, 0).Sub(mesh.CubePoint(f, 0, 0)) // frame u axis
+	v := mesh.CubePoint(f, 0, 1).Sub(mesh.CubePoint(f, 0, 0)) // frame v axis
+	dca := u.Scale(1 + x*x)
+	dcb := v.Scale(1 + y*y)
+	proj := func(dc mesh.Vec3) mesh.Vec3 {
+		return dc.Scale(1 / r).Sub(c.Scale(c.Dot(dc) / (r * r * r))).Scale(g.Radius)
+	}
+	return p, proj(dca), proj(dcb)
+}
+
+// buildGeometry fills every per-point geometric array.
+func (g *Grid) buildGeometry() {
+	k := g.NumElems()
+	npts := g.PointsPerElem()
+	alloc := func() [][]float64 {
+		out := make([][]float64, k)
+		flat := make([]float64, k*npts)
+		for e := range out {
+			out[e], flat = flat[:npts], flat[npts:]
+		}
+		return out
+	}
+	allocV := func() [][]mesh.Vec3 {
+		out := make([][]mesh.Vec3, k)
+		flat := make([]mesh.Vec3, k*npts)
+		for e := range out {
+			out[e], flat = flat[:npts], flat[npts:]
+		}
+		return out
+	}
+	g.Pos, g.Ea, g.Eb = allocV(), allocV(), allocV()
+	g.SqrtG, g.G11, g.G12, g.G22 = alloc(), alloc(), alloc(), alloc()
+	g.GI11, g.GI12, g.GI22 = alloc(), alloc(), alloc()
+	g.Cor = alloc()
+
+	for e := 0; e < k; e++ {
+		id := mesh.ElemID(e)
+		f := g.M.Elem(id).Face
+		for b := 0; b < g.Np; b++ {
+			for a := 0; a < g.Np; a++ {
+				idx := b*g.Np + a
+				alpha, beta := g.elemAngles(id, a, b)
+				p, ea, eb := g.pointAndBasis(f, alpha, beta)
+				g.Pos[e][idx] = p
+				g.Ea[e][idx] = ea
+				g.Eb[e][idx] = eb
+				g11 := ea.Dot(ea)
+				g12 := ea.Dot(eb)
+				g22 := eb.Dot(eb)
+				det := g11*g22 - g12*g12
+				g.G11[e][idx], g.G12[e][idx], g.G22[e][idx] = g11, g12, g22
+				g.SqrtG[e][idx] = math.Sqrt(det)
+				g.GI11[e][idx] = g22 / det
+				g.GI12[e][idx] = -g12 / det
+				g.GI22[e][idx] = g11 / det
+				g.Cor[e][idx] = 2 * g.Omega * p.Z / g.Radius // rotation about +Z
+			}
+		}
+	}
+}
+
+// SetRotationAxis re-evaluates the Coriolis parameter for a planet rotating
+// about the given axis: f = 2*Omega*(p.axis)/Radius. The default axis is +Z;
+// the rotated Williamson test cases tilt it together with the flow.
+func (g *Grid) SetRotationAxis(axis mesh.Vec3) {
+	n := axis.Normalize()
+	for e := 0; e < g.NumElems(); e++ {
+		for i := 0; i < g.PointsPerElem(); i++ {
+			g.Cor[e][i] = 2 * g.Omega * g.Pos[e][i].Dot(n) / g.Radius
+		}
+	}
+}
+
+// Field allocates a scalar field on the grid: one value per GLL point per
+// element, stored as [K][Np*Np].
+func (g *Grid) Field() [][]float64 {
+	k := g.NumElems()
+	npts := g.PointsPerElem()
+	out := make([][]float64, k)
+	flat := make([]float64, k*npts)
+	for e := range out {
+		out[e], flat = flat[:npts], flat[npts:]
+	}
+	return out
+}
+
+// DiffAlpha computes the alpha-derivative of the element field u (length
+// Np*Np) into du, in physical angle units (1/radian).
+func (g *Grid) DiffAlpha(u, du []float64) {
+	np := g.Np
+	d := g.GLL.D
+	scale := 2 / g.DAlpha
+	for b := 0; b < np; b++ {
+		row := u[b*np : (b+1)*np]
+		for i := 0; i < np; i++ {
+			var s float64
+			drow := d[i*np : (i+1)*np]
+			for j := 0; j < np; j++ {
+				s += drow[j] * row[j]
+			}
+			du[b*np+i] = s * scale
+		}
+	}
+}
+
+// DiffBeta computes the beta-derivative of the element field u into du, in
+// physical angle units.
+func (g *Grid) DiffBeta(u, du []float64) {
+	np := g.Np
+	d := g.GLL.D
+	scale := 2 / g.DAlpha
+	for i := 0; i < np; i++ {
+		for a := 0; a < np; a++ {
+			var s float64
+			drow := d[i*np : (i+1)*np]
+			for j := 0; j < np; j++ {
+				s += drow[j] * u[j*np+a]
+			}
+			du[i*np+a] = s * scale
+		}
+	}
+}
+
+// MassWeight returns the quadrature mass of GLL point (a, b) of element e:
+// w_a * w_b * sqrtG (the local contribution to the global mass matrix).
+func (g *Grid) MassWeight(e int, a, b int) float64 {
+	return g.GLL.Wts[a] * g.GLL.Wts[b] * g.SqrtG[e][b*g.Np+a] * (g.DAlpha / 2) * (g.DAlpha / 2)
+}
+
+// Integrate returns the integral of field q over the whole sphere using GLL
+// quadrature.
+func (g *Grid) Integrate(q [][]float64) float64 {
+	var sum float64
+	np := g.Np
+	for e := 0; e < g.NumElems(); e++ {
+		for b := 0; b < np; b++ {
+			for a := 0; a < np; a++ {
+				sum += q[e][b*np+a] * g.MassWeight(e, a, b)
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,148 @@
+package seam
+
+import (
+	"math"
+	"testing"
+
+	"sfccube/internal/mesh"
+)
+
+// The Laplacian of a constant is zero and the Laplacian of the first
+// spherical harmonic Y_1 (= z/R) is -2/R^2 * Y_1.
+func TestLaplacianEigenfunction(t *testing.T) {
+	g := testGrid(t, 4, 7)
+	sw, err := NewShallowWater(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := g.Field()
+	out := g.Field()
+	// Constant.
+	for e := range q {
+		for i := range q[e] {
+			q[e][i] = 5
+		}
+	}
+	sw.Laplacian(q, out)
+	for e := range out {
+		for i := range out[e] {
+			if math.Abs(out[e][i]) > 1e-14 {
+				t.Fatalf("Laplacian of constant = %v", out[e][i])
+			}
+		}
+	}
+	// Y_1 = z/R: eigenvalue -l(l+1)/R^2 = -2/R^2.
+	for e := range q {
+		for i := range q[e] {
+			q[e][i] = g.Pos[e][i].Z / g.Radius
+		}
+	}
+	sw.Laplacian(q, out)
+	want := -2.0 / (g.Radius * g.Radius)
+	var worst float64
+	for e := range out {
+		for i := range out[e] {
+			rel := math.Abs(out[e][i]-want*q[e][i]) / math.Abs(want)
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	if worst > 1e-4 {
+		t.Errorf("Y1 eigenvalue relative error %v", worst)
+	}
+}
+
+// Hyperviscosity must damp grid-scale noise strongly while leaving a smooth
+// field nearly untouched (scale selectivity).
+func TestHyperviscosityScaleSelective(t *testing.T) {
+	g := testGrid(t, 3, 6)
+	smooth, err := NewShallowWater(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := NewShallowWater(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smooth field: large-scale harmonic. Noisy field: same plus
+	// alternating-sign noise at the grid scale.
+	base := func(p mesh.Vec3) float64 { return 100 * (p.Z / g.Radius) }
+	smooth.SetState(func(mesh.Vec3) mesh.Vec3 { return mesh.Vec3{} }, base)
+	noisy.SetState(func(mesh.Vec3) mesh.Vec3 { return mesh.Vec3{} }, base)
+	s := uint64(99)
+	for e := range noisy.Phi {
+		for i := range noisy.Phi[e] {
+			s = s*6364136223846793005 + 1442695040888963407
+			noisy.Phi[e][i] += float64(int64(s>>33)%100-50) / 50.0
+		}
+	}
+	noisy.Dss.Apply(noisy.Phi)
+	noiseBefore := diffNorm(g, noisy.Phi, smooth.Phi)
+
+	dt := 100.0
+	nu := noisy.StableHyperviscosity(dt)
+	smoothBefore := cloneField(g, smooth.Phi)
+	for it := 0; it < 50; it++ {
+		noisy.ApplyHyperviscosity(dt, nu)
+		smooth.ApplyHyperviscosity(dt, nu)
+	}
+	noiseAfter := diffNorm(g, noisy.Phi, smooth.Phi)
+	smoothChange := diffNorm(g, smooth.Phi, smoothBefore)
+
+	removed := noiseBefore - noiseAfter
+	if removed <= 0.02*noiseBefore {
+		t.Errorf("grid-scale noise not damped: %v -> %v", noiseBefore, noiseAfter)
+	}
+	// Scale selectivity: the resolved field must change by far less than
+	// the amount of noise removed.
+	if smoothChange > 0.05*removed {
+		t.Errorf("smooth field changed by %v while removing %v of noise: not scale selective",
+			smoothChange, removed)
+	}
+}
+
+// Applying hyperviscosity to the Williamson-2 steady state must not
+// destabilise it.
+func TestHyperviscosityKeepsWilliamson2Steady(t *testing.T) {
+	g := testGrid(t, 3, 5)
+	sw, err := NewShallowWater(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0 := 2 * math.Pi * g.Radius / (12 * 86400)
+	wind, phi := Williamson2(g.Radius, g.Omega, u0, 2.94e4)
+	sw.SetState(wind, phi)
+	dt := sw.MaxStableDt(0.4)
+	nu := sw.StableHyperviscosity(dt)
+	for s := 0; s < 20; s++ {
+		sw.Step(dt)
+		sw.ApplyHyperviscosity(dt, nu)
+	}
+	if errL2 := sw.PhiL2Error(phi); math.IsNaN(errL2) || errL2 > 1e-4 {
+		t.Errorf("steady state error with hyperviscosity: %v", errL2)
+	}
+}
+
+func diffNorm(g *Grid, a, b [][]float64) float64 {
+	var sum float64
+	np := g.Np
+	for e := range a {
+		for bb := 0; bb < np; bb++ {
+			for aa := 0; aa < np; aa++ {
+				i := bb*np + aa
+				d := a[e][i] - b[e][i]
+				sum += d * d * g.MassWeight(e, aa, bb)
+			}
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+func cloneField(g *Grid, q [][]float64) [][]float64 {
+	out := g.Field()
+	for e := range q {
+		copy(out[e], q[e])
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package seam
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Runner executes the shallow-water model with the spectral elements
+// distributed over ranks according to a partition, mimicking SEAM's MPI
+// parallelisation in-process: every rank is a goroutine that computes the
+// tendencies of its own elements and meets the other ranks at barriers
+// around each boundary exchange (the DSS). Shared GLL nodes are averaged by
+// a unique owner rank, and the bytes that would cross rank boundaries on a
+// distributed machine are tallied per rank, which is exactly the
+// "communication volume for a single processor" (spcv) of the paper.
+type Runner struct {
+	SW     *ShallowWater
+	Assign []int32 // element -> rank
+	NRanks int
+
+	elemsOf [][]int32 // rank -> owned elements
+	// ownedShared[r] indexes sw.Dss.shared: the shared nodes rank r owns
+	// (the rank of the node's first member element).
+	ownedShared [][]int32
+	// sentPerApply[r] is the number of bytes rank r sends in one DSS
+	// application of one field.
+	sentPerApply []int64
+
+	// BusyTime accumulates per-rank compute time (excluding barrier waits).
+	BusyTime []time.Duration
+}
+
+// NewRunner distributes the elements of sw over nranks ranks following
+// assign (element id -> rank).
+func NewRunner(sw *ShallowWater, assign []int32, nranks int) (*Runner, error) {
+	k := sw.G.NumElems()
+	if len(assign) != k {
+		return nil, fmt.Errorf("seam: %d assignments for %d elements", len(assign), k)
+	}
+	if nranks < 1 {
+		return nil, fmt.Errorf("seam: nranks must be >= 1, got %d", nranks)
+	}
+	r := &Runner{
+		SW: sw, Assign: assign, NRanks: nranks,
+		elemsOf:      make([][]int32, nranks),
+		ownedShared:  make([][]int32, nranks),
+		sentPerApply: make([]int64, nranks),
+		BusyTime:     make([]time.Duration, nranks),
+	}
+	for e, rk := range assign {
+		if rk < 0 || int(rk) >= nranks {
+			return nil, fmt.Errorf("seam: element %d assigned to rank %d, want [0,%d)", e, rk, nranks)
+		}
+		r.elemsOf[rk] = append(r.elemsOf[rk], int32(e))
+	}
+	npts := sw.G.PointsPerElem()
+	for i, sn := range sw.Dss.shared {
+		owner := assign[int(sn.pts[0])/npts]
+		r.ownedShared[owner] = append(r.ownedShared[owner], int32(i))
+		for _, p := range sn.pts {
+			member := assign[int(p)/npts]
+			if member != owner {
+				// The member sends its contribution to the owner and the
+				// owner sends the assembled value back: 8 bytes each way.
+				r.sentPerApply[member] += 8
+				r.sentPerApply[owner] += 8
+			}
+		}
+	}
+	return r, nil
+}
+
+// NumOwned returns the number of elements owned by each rank.
+func (r *Runner) NumOwned() []int {
+	out := make([]int, r.NRanks)
+	for rk, es := range r.elemsOf {
+		out[rk] = len(es)
+	}
+	return out
+}
+
+// BytesPerStep returns, per rank, the communication bytes of one full RK4
+// time step: 4 stages x 3 prognostic fields x one DSS application.
+func (r *Runner) BytesPerStep() []int64 {
+	out := make([]int64, r.NRanks)
+	for rk, b := range r.sentPerApply {
+		out[rk] = b * 4 * 3
+	}
+	return out
+}
+
+// barrier is a reusable cyclic barrier for NRanks goroutines.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// applyRank performs rank rk's portion of a DSS application: averaging the
+// shared nodes it owns. Callers must place barriers before (so all element
+// values are written) and after (so all averages are visible).
+func (r *Runner) applyRank(q [][]float64, rk int) {
+	d := r.SW.Dss
+	npts := r.SW.G.PointsPerElem()
+	for _, si := range r.ownedShared[rk] {
+		sn := d.shared[si]
+		var num, den float64
+		for i, p := range sn.pts {
+			num += sn.mass[i] * q[int(p)/npts][int(p)%npts]
+			den += sn.mass[i]
+		}
+		avg := num / den
+		for _, p := range sn.pts {
+			q[int(p)/npts][int(p)%npts] = avg
+		}
+	}
+}
+
+// applyVectorRank performs rank rk's portion of a covariant-vector DSS
+// application (see DSS.ApplyVector) for the shared nodes it owns.
+func (r *Runner) applyVectorRank(v1, v2 [][]float64, rk int) {
+	d := r.SW.Dss
+	g := r.SW.G
+	npts := g.PointsPerElem()
+	for _, si := range r.ownedShared[rk] {
+		sn := d.shared[si]
+		var sx, sy, sz, den float64
+		for i, p := range sn.pts {
+			e, idx := int(p)/npts, int(p)%npts
+			u1 := g.GI11[e][idx]*v1[e][idx] + g.GI12[e][idx]*v2[e][idx]
+			u2 := g.GI12[e][idx]*v1[e][idx] + g.GI22[e][idx]*v2[e][idx]
+			ea, eb := g.Ea[e][idx], g.Eb[e][idx]
+			m := sn.mass[i]
+			sx += m * (u1*ea.X + u2*eb.X)
+			sy += m * (u1*ea.Y + u2*eb.Y)
+			sz += m * (u1*ea.Z + u2*eb.Z)
+			den += m
+		}
+		sx, sy, sz = sx/den, sy/den, sz/den
+		for _, p := range sn.pts {
+			e, idx := int(p)/npts, int(p)%npts
+			ea, eb := g.Ea[e][idx], g.Eb[e][idx]
+			v1[e][idx] = sx*ea.X + sy*ea.Y + sz*ea.Z
+			v2[e][idx] = sx*eb.X + sy*eb.Y + sz*eb.Z
+		}
+	}
+}
+
+// rhsRank evaluates the shallow-water tendencies for the elements of rank
+// rk, without the DSS (which the caller performs between barriers).
+func (r *Runner) rhsRank(rk int, v1, v2, phi, tv1, tv2, tphi [][]float64) {
+	sw := r.SW
+	g := sw.G
+	np := g.Np
+	npts := np * np
+	for _, e32 := range r.elemsOf[rk] {
+		e := int(e32)
+		gi11, gi12, gi22 := g.GI11[e], g.GI12[e], g.GI22[e]
+		sq := g.SqrtG[e]
+		cor := g.Cor[e]
+		for i := 0; i < npts; i++ {
+			sw.u1[e][i] = gi11[i]*v1[e][i] + gi12[i]*v2[e][i]
+			sw.u2[e][i] = gi12[i]*v1[e][i] + gi22[i]*v2[e][i]
+			sw.en[e][i] = phi[e][i] + 0.5*(sw.u1[e][i]*v1[e][i]+sw.u2[e][i]*v2[e][i])
+		}
+		g.DiffAlpha(v2[e], sw.da[e])
+		g.DiffBeta(v1[e], sw.db[e])
+		for i := 0; i < npts; i++ {
+			sw.zeta[e][i] = (sw.da[e][i] - sw.db[e][i]) / sq[i]
+		}
+		g.DiffAlpha(sw.en[e], sw.da[e])
+		g.DiffBeta(sw.en[e], sw.db[e])
+		for i := 0; i < npts; i++ {
+			pv := sw.zeta[e][i] + cor[i]
+			tv1[e][i] = +pv*sq[i]*sw.u2[e][i] - sw.da[e][i]
+			tv2[e][i] = -pv*sq[i]*sw.u1[e][i] - sw.db[e][i]
+		}
+		for i := 0; i < npts; i++ {
+			sw.f1[e][i] = sq[i] * phi[e][i] * sw.u1[e][i]
+			sw.f2[e][i] = sq[i] * phi[e][i] * sw.u2[e][i]
+		}
+		g.DiffAlpha(sw.f1[e], sw.da[e])
+		g.DiffBeta(sw.f2[e], sw.db[e])
+		for i := 0; i < npts; i++ {
+			tphi[e][i] = -(sw.da[e][i] + sw.db[e][i]) / sq[i]
+		}
+	}
+}
+
+// Run advances the model by the given number of RK4 steps of size dt with
+// all ranks running concurrently, and returns the wall-clock time of the
+// parallel section. The result is bitwise identical to the same number of
+// sequential ShallowWater.Step calls.
+func (r *Runner) Run(steps int, dt float64) time.Duration {
+	sw := r.SW
+	g := sw.G
+	npts := g.PointsPerElem()
+	bar := newBarrier(r.NRanks)
+	stageCoef := []float64{dt / 2, dt / 2, dt}
+	accCoef := []float64{dt / 6, dt / 3, dt / 3, dt / 6}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for rk := 0; rk < r.NRanks; rk++ {
+		wg.Add(1)
+		go func(rk int) {
+			defer wg.Done()
+			myElems := r.elemsOf[rk]
+			for s := 0; s < steps; s++ {
+				busy := time.Now()
+				// Copy state into accumulators.
+				for _, e32 := range myElems {
+					e := int(e32)
+					copy(sw.av1[e], sw.V1[e])
+					copy(sw.av2[e], sw.V2[e])
+					copy(sw.ap[e], sw.Phi[e])
+				}
+				curV1, curV2, curP := sw.V1, sw.V2, sw.Phi
+				for st := 0; st < 4; st++ {
+					r.rhsRank(rk, curV1, curV2, curP, sw.k1v1, sw.k1v2, sw.k1p)
+					r.BusyTime[rk] += time.Since(busy)
+					bar.wait() // all tendencies written
+					busy = time.Now()
+					r.applyVectorRank(sw.k1v1, sw.k1v2, rk)
+					r.applyRank(sw.k1p, rk)
+					r.BusyTime[rk] += time.Since(busy)
+					bar.wait() // all averages visible
+					busy = time.Now()
+					c := accCoef[st]
+					for _, e32 := range myElems {
+						e := int(e32)
+						for i := 0; i < npts; i++ {
+							sw.av1[e][i] += c * sw.k1v1[e][i]
+							sw.av2[e][i] += c * sw.k1v2[e][i]
+							sw.ap[e][i] += c * sw.k1p[e][i]
+						}
+					}
+					if st < 3 {
+						sc := stageCoef[st]
+						for _, e32 := range myElems {
+							e := int(e32)
+							for i := 0; i < npts; i++ {
+								sw.sv1[e][i] = sw.V1[e][i] + sc*sw.k1v1[e][i]
+								sw.sv2[e][i] = sw.V2[e][i] + sc*sw.k1v2[e][i]
+								sw.sp[e][i] = sw.Phi[e][i] + sc*sw.k1p[e][i]
+							}
+						}
+						curV1, curV2, curP = sw.sv1, sw.sv2, sw.sp
+						r.BusyTime[rk] += time.Since(busy)
+						bar.wait() // stage state complete before next RHS
+						busy = time.Now()
+					}
+				}
+				for _, e32 := range myElems {
+					e := int(e32)
+					copy(sw.V1[e], sw.av1[e])
+					copy(sw.V2[e], sw.av2[e])
+					copy(sw.Phi[e], sw.ap[e])
+				}
+				r.BusyTime[rk] += time.Since(busy)
+				bar.wait() // state updated before next step
+			}
+		}(rk)
+	}
+	wg.Wait()
+	// Meter the work exactly as the sequential Step does (the runner
+	// performs the same arithmetic, just distributed).
+	sw.Flops += int64(steps) * (4*rhsFlopsShallowWater(g.NumElems(), g.Np) +
+		int64(g.NumElems())*int64(npts)*3*4*4)
+	return time.Since(start)
+}

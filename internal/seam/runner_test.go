@@ -1,0 +1,169 @@
+package seam
+
+import (
+	"math"
+	"testing"
+)
+
+func w2Solver(t testing.TB, ne, n int) (*ShallowWater, float64) {
+	t.Helper()
+	g := testGrid(t, ne, n)
+	sw, err := NewShallowWater(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0 := 2 * math.Pi * g.Radius / (12 * 86400)
+	wind, phi := Williamson2(g.Radius, g.Omega, u0, 2.94e4)
+	sw.SetState(wind, phi)
+	return sw, sw.MaxStableDt(0.4)
+}
+
+// blockAssign distributes elements over ranks in equal contiguous blocks.
+func blockAssign(k, nranks int) []int32 {
+	a := make([]int32, k)
+	for i := range a {
+		a[i] = int32(i * nranks / k)
+	}
+	return a
+}
+
+func TestNewRunnerErrors(t *testing.T) {
+	sw, _ := w2Solver(t, 2, 3)
+	k := sw.G.NumElems()
+	if _, err := NewRunner(sw, make([]int32, k-1), 2); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := NewRunner(sw, make([]int32, k), 0); err == nil {
+		t.Error("nranks=0 accepted")
+	}
+	bad := make([]int32, k)
+	bad[3] = 7
+	if _, err := NewRunner(sw, bad, 2); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}
+
+func TestRunnerMatchesSequential(t *testing.T) {
+	// Run the same problem sequentially and with 4 ranks; results must be
+	// bitwise identical because the arithmetic per element and per shared
+	// node is identical, only the loop order over nodes differs.
+	seqSW, dt := w2Solver(t, 2, 4)
+	parSW, _ := w2Solver(t, 2, 4)
+	steps := 5
+	for s := 0; s < steps; s++ {
+		seqSW.Step(dt)
+	}
+	r, err := NewRunner(parSW, blockAssign(parSW.G.NumElems(), 4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(steps, dt)
+	for e := 0; e < seqSW.G.NumElems(); e++ {
+		for i := 0; i < seqSW.G.PointsPerElem(); i++ {
+			if seqSW.Phi[e][i] != parSW.Phi[e][i] {
+				t.Fatalf("Phi differs at elem %d point %d: %v vs %v",
+					e, i, seqSW.Phi[e][i], parSW.Phi[e][i])
+			}
+			if seqSW.V1[e][i] != parSW.V1[e][i] || seqSW.V2[e][i] != parSW.V2[e][i] {
+				t.Fatalf("velocity differs at elem %d point %d", e, i)
+			}
+		}
+	}
+}
+
+func TestRunnerSingleRankMatchesSequential(t *testing.T) {
+	seqSW, dt := w2Solver(t, 1, 3)
+	parSW, _ := w2Solver(t, 1, 3)
+	for s := 0; s < 3; s++ {
+		seqSW.Step(dt)
+	}
+	r, _ := NewRunner(parSW, blockAssign(parSW.G.NumElems(), 1), 1)
+	r.Run(3, dt)
+	for e := 0; e < seqSW.G.NumElems(); e++ {
+		for i := 0; i < seqSW.G.PointsPerElem(); i++ {
+			if seqSW.Phi[e][i] != parSW.Phi[e][i] {
+				t.Fatalf("Phi differs at elem %d point %d", e, i)
+			}
+		}
+	}
+}
+
+func TestRunnerOwnership(t *testing.T) {
+	sw, _ := w2Solver(t, 2, 3)
+	k := sw.G.NumElems()
+	r, err := NewRunner(sw, blockAssign(k, 6), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := r.NumOwned()
+	total := 0
+	for _, c := range owned {
+		if c != k/6 {
+			t.Errorf("rank owns %d elements, want %d", c, k/6)
+		}
+		total += c
+	}
+	if total != k {
+		t.Errorf("ownership covers %d of %d elements", total, k)
+	}
+}
+
+// Communication accounting: a single rank sends nothing; more ranks send
+// more; totals are symmetric in the sense that every byte has a sender.
+func TestRunnerCommAccounting(t *testing.T) {
+	sw, _ := w2Solver(t, 2, 3)
+	k := sw.G.NumElems()
+	r1, _ := NewRunner(sw, blockAssign(k, 1), 1)
+	for _, b := range r1.BytesPerStep() {
+		if b != 0 {
+			t.Errorf("single rank sends %d bytes", b)
+		}
+	}
+	r4, _ := NewRunner(sw, blockAssign(k, 4), 4)
+	var total int64
+	for _, b := range r4.BytesPerStep() {
+		if b <= 0 {
+			t.Errorf("rank sends %d bytes, want > 0", b)
+		}
+		total += b
+	}
+	// 4 RK stages x 3 fields per step.
+	var perApply int64
+	for _, b := range r4.sentPerApply {
+		perApply += b
+	}
+	if total != perApply*12 {
+		t.Errorf("BytesPerStep %d != 12 * per-apply %d", total, perApply)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 8
+	b := newBarrier(n)
+	counter := make(chan int, n*3)
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			for round := 0; round < 3; round++ {
+				counter <- round
+				b.wait()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	close(counter)
+	// With a correct barrier every round's n events complete before any
+	// event of round+2 can occur; rounds observed must be 0..2, n each.
+	seen := map[int]int{}
+	for r := range counter {
+		seen[r]++
+	}
+	for r := 0; r < 3; r++ {
+		if seen[r] != n {
+			t.Errorf("round %d seen %d times, want %d", r, seen[r], n)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package sfc
+
+import (
+	"fmt"
+
+	"sfccube/internal/mesh"
+)
+
+// defaultFacePath is the preferred order in which the curve visits the six
+// cube faces; consecutive faces share a cube edge. The Hilbert/Peano family
+// always chains continuously along this path. Base orderings with diagonal
+// endpoints are rigid (each face's orientation forces the next), so for them
+// the constructor searches over every Hamiltonian path of the face adjacency
+// graph (the octahedron).
+var defaultFacePath = [mesh.NumFaces]mesh.Face{
+	mesh.FaceNY, mesh.FacePZ, mesh.FacePY, mesh.FacePX, mesh.FaceNZ, mesh.FaceNX,
+}
+
+// facesAdjacent reports whether two cube faces share an edge (all pairs
+// except opposites).
+func facesAdjacent(a, b mesh.Face) bool {
+	if a == b {
+		return false
+	}
+	opposite := map[mesh.Face]mesh.Face{
+		mesh.FacePX: mesh.FaceNX, mesh.FaceNX: mesh.FacePX,
+		mesh.FacePY: mesh.FaceNY, mesh.FaceNY: mesh.FacePY,
+		mesh.FacePZ: mesh.FaceNZ, mesh.FaceNZ: mesh.FacePZ,
+	}
+	return opposite[a] != b
+}
+
+// hamiltonianFacePaths enumerates every visiting order of the six faces in
+// which consecutive faces are adjacent, starting with the default path.
+func hamiltonianFacePaths() [][mesh.NumFaces]mesh.Face {
+	paths := [][mesh.NumFaces]mesh.Face{defaultFacePath}
+	var cur [mesh.NumFaces]mesh.Face
+	used := [mesh.NumFaces]bool{}
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == mesh.NumFaces {
+			if cur != defaultFacePath {
+				paths = append(paths, cur)
+			}
+			return
+		}
+		for f := mesh.Face(0); f < mesh.NumFaces; f++ {
+			if used[f] {
+				continue
+			}
+			if depth > 0 && !facesAdjacent(cur[depth-1], f) {
+				continue
+			}
+			used[f] = true
+			cur[depth] = f
+			rec(depth + 1)
+			used[f] = false
+		}
+	}
+	rec(0)
+	return paths
+}
+
+// CubeCurve is a single continuous space-filling curve traversing every
+// element of a cubed-sphere mesh (paper Figure 6): the per-face curves are
+// oriented so that the exit element of each face is edge-adjacent, across the
+// shared cube edge, to the entry element of the next face. Splitting the
+// curve into equal contiguous segments yields the SFC partition.
+type CubeCurve struct {
+	m     *mesh.Mesh
+	sched Schedule // nil when built from a baseline ordering
+	name  string
+	path  [mesh.NumFaces]mesh.Face
+	xf    [mesh.NumFaces]XF // orientation applied to the base curve per face
+
+	order []mesh.ElemID // rank -> element
+	rank  []int         // element -> rank
+}
+
+// NewCubeCurve builds the continuous cubed-sphere curve for mesh m using the
+// given refinement schedule. The schedule's side must equal m.Ne(). The
+// per-face orientations are found by a backtracking search over the dihedral
+// group and the result is verified to be continuous; an error is returned
+// only for a schedule/mesh size mismatch (a continuous assignment always
+// exists because corner elements of adjacent faces that meet at a cube-edge
+// endpoint share a full element edge).
+func NewCubeCurve(m *mesh.Mesh, sched Schedule) (*CubeCurve, error) {
+	if sched.Side() != m.Ne() {
+		return nil, fmt.Errorf("sfc: schedule %v covers a %dx%d face but mesh has Ne=%d",
+			sched, sched.Side(), sched.Side(), m.Ne())
+	}
+	cc, err := NewCubeCurveFromBase(m, Generate(sched), sched.String())
+	if err != nil {
+		return nil, err
+	}
+	cc.sched = sched
+	return cc, nil
+}
+
+// NewCubeCurveFromBase chains an arbitrary per-face ordering over the six
+// faces. The base ordering need not be continuous (e.g. Morton order); the
+// orientation search still aligns each face's exit cell with the next
+// face's entry cell, so a continuous base yields a globally continuous
+// curve and a discontinuous base degrades gracefully. Used for the baseline
+// orderings (GenerateSerpentine, GenerateMorton).
+func NewCubeCurveFromBase(m *mesh.Mesh, base *Curve, name string) (*CubeCurve, error) {
+	if base.Side() != m.Ne() {
+		return nil, fmt.Errorf("sfc: base ordering covers a %dx%d face but mesh has Ne=%d",
+			base.Side(), base.Side(), m.Ne())
+	}
+	cc := &CubeCurve{m: m, name: name}
+	if !cc.solveOrientations(base) {
+		// Cannot happen for a cube (see doc comment), but fail loudly
+		// rather than return a broken curve.
+		return nil, fmt.Errorf("sfc: no face orientation found for Ne=%d", m.Ne())
+	}
+	cc.build(base)
+	return cc, nil
+}
+
+// entryExit returns the entry and exit cells of the base curve on a face
+// once orientation t is applied.
+func entryExit(base *Curve, t XF) (entry, exit Point) {
+	e0, e1 := base.Endpoints()
+	return t.Apply(e0, base.Side()), t.Apply(e1, base.Side())
+}
+
+// solveOrientations assigns one XF per face (in facePath order) so that each
+// face's exit element connects to the next face's entry element. It prefers
+// edge adjacency (a fully continuous global curve, always achievable for the
+// Hilbert/Peano family whose endpoints lie on one edge); for base orderings
+// with diagonal endpoints (serpentine with odd Ne, Morton) it falls back to
+// corner adjacency, and as a last resort to no constraint at all -- the
+// partition stays valid, only segment compactness degrades.
+// solveOrientations searches for face orientations minimising the number of
+// broken transitions. It first demands full edge-adjacency (always solvable
+// for the Hilbert/Peano family: their entry and exit lie on the same domain
+// edge). For base orderings whose endpoints are diagonal corners (Morton,
+// serpentine with odd Ne) it then allows corner adjacency, and finally an
+// increasing budget of disconnected transitions. Note that for diagonal
+// endpoints at least one break is unavoidable: a break-free chain would be
+// an Eulerian path in K4 (faces are the edges between same-parity cube
+// corners, every corner has odd degree 3), which does not exist.
+func (cc *CubeCurve) solveOrientations(base *Curve) bool {
+	edgeAdj := isEdgeNeighborOf(cc.m)
+	connected := func(a, b mesh.ElemID) bool {
+		return isEdgeNeighbor(cc.m, a, b) || isCornerNeighbor(cc.m, a, b)
+	}
+	paths := hamiltonianFacePaths()
+	try := func(accept func(a, b mesh.ElemID) bool, breaks int) bool {
+		for _, path := range paths {
+			var rec func(step, budget int, prevExit mesh.ElemID) bool
+			rec = func(step, budget int, prevExit mesh.ElemID) bool {
+				if step == mesh.NumFaces {
+					return true
+				}
+				f := path[step]
+				for _, t := range AllXF {
+					entry, exit := entryExit(base, t)
+					entryID := cc.m.ID(f, entry.X, entry.Y)
+					b := budget
+					if step > 0 && !accept(prevExit, entryID) {
+						if b == 0 {
+							continue
+						}
+						b--
+					}
+					cc.xf[f] = t
+					if rec(step+1, b, cc.m.ID(f, exit.X, exit.Y)) {
+						return true
+					}
+				}
+				return false
+			}
+			if rec(0, breaks, -1) {
+				cc.path = path
+				return true
+			}
+		}
+		return false
+	}
+	if try(edgeAdj, 0) {
+		return true
+	}
+	for breaks := 0; breaks <= mesh.NumFaces-1; breaks++ {
+		if try(connected, breaks) {
+			return true
+		}
+	}
+	return false
+}
+
+func isEdgeNeighborOf(m *mesh.Mesh) func(a, b mesh.ElemID) bool {
+	return func(a, b mesh.ElemID) bool { return isEdgeNeighbor(m, a, b) }
+}
+
+func isCornerNeighbor(m *mesh.Mesh, a, b mesh.ElemID) bool {
+	for _, n := range m.CornerNeighbors(a) {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}
+
+func isEdgeNeighbor(m *mesh.Mesh, a, b mesh.ElemID) bool {
+	for _, n := range m.EdgeNeighbors(a) {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}
+
+// build materialises the global visit order.
+func (cc *CubeCurve) build(base *Curve) {
+	k := cc.m.NumElems()
+	cc.order = make([]mesh.ElemID, 0, k)
+	cc.rank = make([]int, k)
+	for _, f := range cc.path {
+		t := cc.xf[f]
+		for _, p := range base.Order() {
+			q := t.Apply(p, base.Side())
+			cc.order = append(cc.order, cc.m.ID(f, q.X, q.Y))
+		}
+	}
+	for r, id := range cc.order {
+		cc.rank[id] = r
+	}
+}
+
+// Mesh returns the underlying mesh.
+func (cc *CubeCurve) Mesh() *mesh.Mesh { return cc.m }
+
+// Schedule returns the refinement schedule used per face, or nil when the
+// curve was built from a baseline ordering via NewCubeCurveFromBase.
+func (cc *CubeCurve) Schedule() Schedule { return cc.sched }
+
+// Name returns a human-readable label for the per-face ordering.
+func (cc *CubeCurve) Name() string { return cc.name }
+
+// Len returns the number of elements on the curve (6 * Ne^2).
+func (cc *CubeCurve) Len() int { return len(cc.order) }
+
+// At returns the element visited at the given curve rank.
+func (cc *CubeCurve) At(rank int) mesh.ElemID { return cc.order[rank] }
+
+// Rank returns the curve rank of element e.
+func (cc *CubeCurve) Rank(e mesh.ElemID) int { return cc.rank[e] }
+
+// Order returns the global visit order; the returned slice is owned by the
+// curve and must not be modified.
+func (cc *CubeCurve) Order() []mesh.ElemID { return cc.order }
+
+// FacePath returns the order in which the curve traverses the cube faces.
+func (cc *CubeCurve) FacePath() [mesh.NumFaces]mesh.Face { return cc.path }
+
+// IsContinuous reports whether consecutive elements on the global curve are
+// edge-adjacent on the cubed-sphere (including across cube edges).
+func (cc *CubeCurve) IsContinuous() bool {
+	for i := 1; i < len(cc.order); i++ {
+		if !isEdgeNeighbor(cc.m, cc.order[i-1], cc.order[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConnected reports whether consecutive elements share at least a corner
+// point -- a weaker property than IsContinuous that the baseline orderings
+// with diagonal endpoints satisfy at face transitions.
+func (cc *CubeCurve) IsConnected() bool {
+	for i := 1; i < len(cc.order); i++ {
+		a, b := cc.order[i-1], cc.order[i]
+		if !isEdgeNeighbor(cc.m, a, b) && !isCornerNeighbor(cc.m, a, b) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,131 @@
+package sfc
+
+import (
+	"testing"
+
+	"sfccube/internal/mesh"
+)
+
+func cubeInvariants(t *testing.T, ne int, order Order) *CubeCurve {
+	t.Helper()
+	m := mesh.MustNew(ne)
+	s, err := ScheduleFor(ne, order)
+	if err != nil {
+		t.Fatalf("ScheduleFor(%d): %v", ne, err)
+	}
+	cc, err := NewCubeCurve(m, s)
+	if err != nil {
+		t.Fatalf("NewCubeCurve(ne=%d): %v", ne, err)
+	}
+	if cc.Len() != m.NumElems() {
+		t.Fatalf("ne=%d: Len=%d, want %d", ne, cc.Len(), m.NumElems())
+	}
+	// Bijection between ranks and elements.
+	seen := make([]bool, m.NumElems())
+	for r := 0; r < cc.Len(); r++ {
+		e := cc.At(r)
+		if seen[e] {
+			t.Fatalf("ne=%d: element %d visited twice", ne, e)
+		}
+		seen[e] = true
+		if cc.Rank(e) != r {
+			t.Fatalf("ne=%d: Rank(At(%d)) = %d", ne, r, cc.Rank(e))
+		}
+	}
+	// The defining property (Figure 6): one single continuous curve across
+	// the whole cubed-sphere, including across cube edges.
+	if !cc.IsContinuous() {
+		t.Fatalf("ne=%d: cube curve not continuous", ne)
+	}
+	return cc
+}
+
+func TestCubeCurveAllPaperResolutions(t *testing.T) {
+	// The paper's four test resolutions plus small sanity sizes.
+	for _, ne := range []int{1, 2, 3, 4, 6, 8, 9, 12, 16, 18} {
+		cubeInvariants(t, ne, PeanoFirst)
+	}
+}
+
+func TestCubeCurveRefinementOrders(t *testing.T) {
+	for _, o := range []Order{PeanoFirst, HilbertFirst, Interleaved} {
+		cubeInvariants(t, 6, o)
+		cubeInvariants(t, 18, o)
+	}
+}
+
+func TestCubeCurveVisitsFacesInPathOrder(t *testing.T) {
+	cc := cubeInvariants(t, 4, PeanoFirst)
+	m := cc.Mesh()
+	per := m.Ne() * m.Ne()
+	for i, f := range cc.FacePath() {
+		for r := i * per; r < (i+1)*per; r++ {
+			if got := m.Elem(cc.At(r)).Face; got != f {
+				t.Fatalf("rank %d on face %v, want %v", r, got, f)
+			}
+		}
+	}
+}
+
+func TestCubeCurveSizeMismatch(t *testing.T) {
+	m := mesh.MustNew(4)
+	if _, err := NewCubeCurve(m, Schedule{Hilbert}); err == nil {
+		t.Error("want error for schedule side 2 on Ne=4 mesh")
+	}
+}
+
+func TestCubeCurveDeterministic(t *testing.T) {
+	m := mesh.MustNew(6)
+	s, _ := ScheduleFor(6, PeanoFirst)
+	a, _ := NewCubeCurve(m, s)
+	b, _ := NewCubeCurve(m, s)
+	for r := 0; r < a.Len(); r++ {
+		if a.At(r) != b.At(r) {
+			t.Fatalf("rank %d differs between identical constructions", r)
+		}
+	}
+}
+
+// Contiguous curve segments must be geometrically compact: for an 8x8 face
+// mesh split into 48 segments of 8 elements, every segment's elements must
+// form a connected patch under edge+corner adjacency.
+func TestCurveSegmentsAreConnected(t *testing.T) {
+	cc := cubeInvariants(t, 8, PeanoFirst)
+	m := cc.Mesh()
+	segSize := 8
+	for start := 0; start < cc.Len(); start += segSize {
+		in := map[mesh.ElemID]bool{}
+		for r := start; r < start+segSize; r++ {
+			in[cc.At(r)] = true
+		}
+		// BFS from the first element of the segment.
+		visited := map[mesh.ElemID]bool{}
+		queue := []mesh.ElemID{cc.At(start)}
+		visited[cc.At(start)] = true
+		for len(queue) > 0 {
+			e := queue[0]
+			queue = queue[1:]
+			for _, n := range m.Neighbors(e) {
+				if in[n] && !visited[n] {
+					visited[n] = true
+					queue = append(queue, n)
+				}
+			}
+		}
+		if len(visited) != segSize {
+			t.Fatalf("segment at rank %d not connected: reached %d of %d",
+				start, len(visited), segSize)
+		}
+	}
+}
+
+func BenchmarkCubeCurveNe16(b *testing.B) {
+	m := mesh.MustNew(16)
+	s, _ := ScheduleFor(16, PeanoFirst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCubeCurve(m, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package sfc implements the space-filling curves of Dennis (IPPS 2003,
+// section 3): the Hilbert curve for P = 2^n domains, the meandering Peano
+// (m-Peano) curve for P = 3^m domains, and the nested Hilbert-Peano curve for
+// P = 2^n * 3^m domains, plus the construction of a single continuous curve
+// over all six faces of the cubed-sphere (Figure 6).
+//
+// The implementation follows the paper's major/joiner-vector formulation in a
+// transform-algebra form: every recursion level applies a "motif" (the level-1
+// curve shape) whose sub-domains each carry a dihedral-group transform -- the
+// paper's major and joiner vectors are exactly the images of the canonical
+// curve's entry edge and exit direction under that transform. Both the Hilbert
+// and m-Peano motifs enter their domain at the bottom-left corner and exit at
+// the bottom-right corner, i.e. the curve traverses the domain along a single
+// major axis; as the paper observes, this shared property is what permits the
+// two refinement types to nest freely level by level.
+package sfc
+
+// Point is a cell coordinate in a P x P grid, 0 <= X,Y < P.
+type Point struct{ X, Y int }
+
+// XF is an element of the dihedral group D4 acting on an s x s grid of cells:
+// first the coordinates are optionally swapped (reflection across the main
+// diagonal), then optionally flipped in X and/or Y. All eight symmetries of
+// the square are representable.
+type XF struct{ Swap, FlipX, FlipY bool }
+
+// The eight elements of D4 in this representation.
+var (
+	Identity      = XF{}
+	Transpose     = XF{Swap: true}
+	MirrorX       = XF{FlipX: true}
+	MirrorY       = XF{FlipY: true}
+	Rotate180     = XF{FlipX: true, FlipY: true}
+	AntiTranspose = XF{Swap: true, FlipX: true, FlipY: true}
+	RotateCW      = XF{Swap: true, FlipX: true} // (x,y) -> (s-1-y, x)
+	RotateCCW     = XF{Swap: true, FlipY: true} // (x,y) -> (y, s-1-x)
+)
+
+// AllXF lists every element of D4; useful for searches over orientations.
+var AllXF = [8]XF{
+	Identity, Transpose, MirrorX, MirrorY,
+	Rotate180, AntiTranspose, RotateCW, RotateCCW,
+}
+
+// Apply maps cell p of an s x s grid to its image under t.
+func (t XF) Apply(p Point, s int) Point {
+	if t.Swap {
+		p.X, p.Y = p.Y, p.X
+	}
+	if t.FlipX {
+		p.X = s - 1 - p.X
+	}
+	if t.FlipY {
+		p.Y = s - 1 - p.Y
+	}
+	return p
+}
+
+// matrix returns the linear part of t as a 2x2 signed permutation matrix.
+func (t XF) matrix() [2][2]int {
+	m := [2][2]int{{1, 0}, {0, 1}}
+	if t.Swap {
+		m = [2][2]int{{0, 1}, {1, 0}}
+	}
+	if t.FlipX {
+		m[0][0], m[0][1] = -m[0][0], -m[0][1]
+	}
+	if t.FlipY {
+		m[1][0], m[1][1] = -m[1][0], -m[1][1]
+	}
+	return m
+}
+
+// fromMatrix converts a signed permutation matrix back to an XF.
+func fromMatrix(m [2][2]int) XF {
+	var t XF
+	if m[0][0] == 0 {
+		t.Swap = true
+		t.FlipX = m[0][1] < 0
+		t.FlipY = m[1][0] < 0
+	} else {
+		t.FlipX = m[0][0] < 0
+		t.FlipY = m[1][1] < 0
+	}
+	return t
+}
+
+// Compose returns the transform "t after u": Compose(t,u).Apply(p) ==
+// t.Apply(u.Apply(p)). The translation parts recentre automatically because
+// every XF maps the square onto itself.
+func (t XF) Compose(u XF) XF {
+	a, b := t.matrix(), u.matrix()
+	var m [2][2]int
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			m[i][j] = a[i][0]*b[0][j] + a[i][1]*b[1][j]
+		}
+	}
+	return fromMatrix(m)
+}
+
+// Inverse returns the transform u with Compose(t, u) == Identity.
+func (t XF) Inverse() XF {
+	a := t.matrix()
+	// The inverse of an orthogonal matrix is its transpose.
+	return fromMatrix([2][2]int{{a[0][0], a[1][0]}, {a[0][1], a[1][1]}})
+}
