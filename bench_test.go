@@ -236,6 +236,81 @@ func BenchmarkParallelSEAM(b *testing.B) {
 	}
 }
 
+// --- SEAM hot-path micro-benchmarks (baseline recorded in BENCH_seam.json) ---
+//
+// These three pin the perf trajectory of the flat-slab compute core. Record
+// a new baseline with:
+//
+//	go test -run '^$' -bench 'BenchmarkRHS$|BenchmarkDSSApply$|BenchmarkRunnerStep$' -benchtime 30x .
+//
+// and update BENCH_seam.json with the measured ns/op.
+
+// benchSEAM builds the Williamson-2 shallow-water state at the paper's
+// K=384 resolution (ne=8, np=8), the configuration the BENCH_seam.json
+// baseline tracks.
+func benchSEAM(b *testing.B) (*seam.ShallowWater, float64) {
+	b.Helper()
+	g, err := seam.NewGrid(8, 7, seam.EarthRadius, seam.EarthOmega)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw, err := seam.NewShallowWater(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wind, phi := seam.Williamson2(g.Radius, g.Omega, 40, 2.94e4)
+	sw.SetState(wind, phi)
+	return sw, sw.MaxStableDt(0.4)
+}
+
+// BenchmarkRHS measures one RK stage's tendency evaluation plus DSS
+// projection (the batched element kernels) over all K=384 elements.
+func BenchmarkRHS(b *testing.B) {
+	sw, _ := benchSEAM(b)
+	sw.Flops = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.RHS()
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(sw.Flops)/b.Elapsed().Seconds()/1e9, "Gflops")
+	}
+}
+
+// BenchmarkDSSApply measures one scalar + one vector DSS application through
+// the precomputed gather/scatter exchange plan.
+func BenchmarkDSSApply(b *testing.B) {
+	sw, _ := benchSEAM(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Dss.Apply(sw.Phi)
+		sw.Dss.ApplyVector(sw.V1, sw.V2)
+	}
+}
+
+// BenchmarkRunnerStep measures one full RK4 step of the parallel runner in
+// the paper's most oversubscribed configuration: K=384 elements on 384
+// ranks (one element per rank), where the capped work-stealing scheduler
+// replaces the seed's goroutine-per-rank execution. The acceptance bar for
+// the flat-slab rework was >= 1.5x over the seed at this configuration; see
+// BENCH_seam.json for the recorded trajectory.
+func BenchmarkRunnerStep(b *testing.B) {
+	sw, dt := benchSEAM(b)
+	res, err := core.PartitionCubedSphere(core.Config{Ne: 8, NProcs: 384})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := seam.NewRunner(sw, res.Partition.Assignment(), 384)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(1, dt)
+	}
+}
+
 // BenchmarkPartitionStats measures metric evaluation (edgecut, LB, TCV).
 func BenchmarkPartitionStats(b *testing.B) {
 	res, err := core.PartitionCubedSphere(core.Config{Ne: 16, NProcs: 768})

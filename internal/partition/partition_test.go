@@ -2,6 +2,7 @@ package partition
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -356,5 +357,44 @@ func TestStatsString(t *testing.T) {
 	st, _ := ComputeStats(g, p)
 	if s := st.String(); s == "" {
 		t.Error("empty stats string")
+	}
+}
+
+// Empty parts are degenerate K-way outputs (idle processors): they must be
+// counted and reported, not silently folded into MaxComponents' floor of 1.
+func TestComputeStatsEmptyParts(t *testing.T) {
+	b := graph.NewBuilder(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	// 4 parts, but every vertex lands in parts 0 and 1: parts 2, 3 empty.
+	p, err := FromAssignment([]int32{0, 0, 1, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ComputeStats(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EmptyParts != 2 {
+		t.Errorf("EmptyParts = %d, want 2", st.EmptyParts)
+	}
+	if !strings.Contains(st.String(), "empty=2") {
+		t.Errorf("String() does not report empty parts: %q", st.String())
+	}
+	// A fully covered partition reports zero empty parts.
+	p2, err := FromAssignment([]int32{0, 1, 2, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ComputeStats(g, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.EmptyParts != 0 {
+		t.Errorf("EmptyParts = %d, want 0", st2.EmptyParts)
 	}
 }

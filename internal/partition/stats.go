@@ -51,6 +51,11 @@ type Stats struct {
 	// MaxComponents is the largest number of connected components in any
 	// single part.
 	MaxComponents int
+	// EmptyParts is the number of parts that received no vertices at all —
+	// a degenerate K-way output (an idle processor) that neither
+	// DisconnectedParts nor MaxComponents flags, since an empty part has
+	// zero components.
+	EmptyParts int
 }
 
 // ComputeStats evaluates all quality metrics of partition p on graph g.
@@ -102,10 +107,16 @@ func ComputeStats(g *graph.Graph, p *Partition) (Stats, error) {
 		}
 	}
 
-	// Connected components per part: BFS over same-part edges.
+	// Connected components per part: BFS over same-part edges. Empty parts
+	// have zero components and are counted separately — MaxComponents
+	// starts at 1, so a part that received no vertices would otherwise be
+	// invisible in the report.
 	comp := componentsPerPart(g, p)
 	st.MaxComponents = 1
 	for _, c := range comp {
+		if c == 0 {
+			st.EmptyParts++
+		}
 		if c > 1 {
 			st.DisconnectedParts++
 		}
@@ -146,10 +157,11 @@ func componentsPerPart(g *graph.Graph, p *Partition) []int {
 	return comp
 }
 
-// String renders the Table-2 style summary of the statistics.
+// String renders the Table-2 style summary of the statistics, including the
+// count of empty (degenerate) parts so idle processors are visible.
 func (s Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "parts=%d nelemd=[%d..%d] LB(nelemd)=%.4f LB(spcv)=%.4f edgecut=%d tcv=%d",
-		s.NParts, s.MinNelemd, s.MaxNelemd, s.LBNelemd, s.LBSpcv, s.EdgeCut, s.TotalCommVolume)
+	fmt.Fprintf(&b, "parts=%d nelemd=[%d..%d] LB(nelemd)=%.4f LB(spcv)=%.4f edgecut=%d tcv=%d empty=%d",
+		s.NParts, s.MinNelemd, s.MaxNelemd, s.LBNelemd, s.LBSpcv, s.EdgeCut, s.TotalCommVolume, s.EmptyParts)
 	return b.String()
 }

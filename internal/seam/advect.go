@@ -73,15 +73,17 @@ func (a *Advection) SetTracer(f func(p mesh.Vec3) float64) {
 	a.Dss.Apply(a.Q)
 }
 
-// rhs evaluates dq/dt = -(ua dq/dalpha + ub dq/dbeta) into out.
+// rhs evaluates dq/dt = -(ua dq/dalpha + ub dq/dbeta) into out, with the
+// fused derivative kernel streaming each element block through cache once.
 func (a *Advection) rhs(q, out [][]float64) {
 	g := a.G
 	npts := g.PointsPerElem()
 	for e := 0; e < g.NumElems(); e++ {
-		g.DiffAlpha(q[e], a.da[e])
-		g.DiffBeta(q[e], a.db[e])
+		da, db := a.da[e], a.db[e]
+		g.DiffAlphaBeta(q[e], da, db)
+		ua, ub, oute := a.Ua[e], a.Ub[e], out[e]
 		for i := 0; i < npts; i++ {
-			out[e][i] = -(a.Ua[e][i]*a.da[e][i] + a.Ub[e][i]*a.db[e][i])
+			oute[i] = -(ua[i]*da[i] + ub[i]*db[i])
 		}
 	}
 	a.Flops += rhsFlopsAdvection(g.NumElems(), g.Np)

@@ -24,10 +24,29 @@ type DSS struct {
 	// shared lists, for every global node touched by more than one
 	// element, the element points that meet there and their mass weights.
 	shared []sharedNode
-	// sharedBytes is the number of 8-byte values crossing element
-	// boundaries in one DSS application (both directions), used by the
-	// communication accounting.
+	// numNodes is the number of distinct global GLL nodes (the size of the
+	// assembled continuous basis). Per-rank byte accounting is a property
+	// of a partition, not of the assembly topology, so it lives in Runner.
 	numNodes int
+
+	// Exchange plan: the shared-node lists above flattened into CSR form so
+	// the hot apply paths do a pure gather/scatter with no per-point div/mod
+	// or slice-header chasing. Shared node s has members
+	// pts[ptr[s]:ptr[s+1]]; pts entries are flat element-major offsets
+	// (elem*npts + idx) that index field slabs directly.
+	ptr  []int32
+	pts  []int32
+	mass []float64 // quadrature mass per member, aligned with pts
+	den  []float64 // per node: sum of member masses, accumulated in member
+	// order so num/den reproduces the on-the-fly average bitwise
+	vgeo []vecGeom // per member: metric + basis for the vector projection
+}
+
+// vecGeom caches the geometric factors the covariant-vector DSS needs at one
+// member point, gathered once at plan build time.
+type vecGeom struct {
+	gi11, gi12, gi22 float64
+	ea, eb           mesh.Vec3
 }
 
 type sharedNode struct {
@@ -193,7 +212,41 @@ func NewDSS(g *Grid) (*DSS, error) {
 		}
 		d.shared = append(d.shared, sn)
 	}
+	d.buildPlan()
 	return d, nil
+}
+
+// buildPlan flattens the shared-node lists into the CSR exchange plan and
+// gathers the per-member geometric factors, so the apply hot paths run
+// without any (elem, idx) arithmetic.
+func (d *DSS) buildPlan() {
+	g := d.g
+	npts := g.PointsPerElem()
+	nMembers := 0
+	for _, sn := range d.shared {
+		nMembers += len(sn.pts)
+	}
+	d.ptr = make([]int32, len(d.shared)+1)
+	d.pts = make([]int32, 0, nMembers)
+	d.mass = make([]float64, 0, nMembers)
+	d.den = make([]float64, len(d.shared))
+	d.vgeo = make([]vecGeom, 0, nMembers)
+	for s, sn := range d.shared {
+		d.ptr[s] = int32(len(d.pts))
+		var den float64
+		for i, p := range sn.pts {
+			e, idx := int(p)/npts, int(p)%npts
+			d.pts = append(d.pts, p)
+			d.mass = append(d.mass, sn.mass[i])
+			den += sn.mass[i]
+			d.vgeo = append(d.vgeo, vecGeom{
+				gi11: g.GI11[e][idx], gi12: g.GI12[e][idx], gi22: g.GI22[e][idx],
+				ea: g.Ea[e][idx], eb: g.Eb[e][idx],
+			})
+		}
+		d.den[s] = den
+	}
+	d.ptr[len(d.shared)] = int32(len(d.pts))
 }
 
 // NumGlobalNodes returns the number of distinct global GLL points.
@@ -209,8 +262,14 @@ func (d *DSS) GlobalNode(e, idx int) int32 {
 }
 
 // Apply projects field q onto the continuous basis: every shared point is
-// replaced by the mass-weighted average of the element-local values.
+// replaced by the mass-weighted average of the element-local values. Fields
+// backed by one contiguous slab (anything from Grid.Field) take the
+// precomputed gather/scatter plan; others fall back to the indexed path.
 func (d *DSS) Apply(q [][]float64) {
+	if flat := d.g.Slab(q); flat != nil {
+		d.applyFlat(flat)
+		return
+	}
 	npts := d.g.PointsPerElem()
 	for _, sn := range d.shared {
 		var num, den float64
@@ -222,6 +281,29 @@ func (d *DSS) Apply(q [][]float64) {
 		for _, p := range sn.pts {
 			q[int(p)/npts][int(p)%npts] = avg
 		}
+	}
+}
+
+// applyFlat is Apply on a contiguous field slab via the exchange plan:
+// gather member values, average with the precomputed weight sum, scatter
+// back. applyNodesFlat does the work for a node-index range so the parallel
+// Runner can reuse it per rank.
+func (d *DSS) applyFlat(q []float64) {
+	for s := range d.den {
+		d.applyNodeFlat(q, int32(s))
+	}
+}
+
+// applyNodeFlat assembles one shared node of the plan on slab q.
+func (d *DSS) applyNodeFlat(q []float64, s int32) {
+	lo, hi := d.ptr[s], d.ptr[s+1]
+	var num float64
+	for m := lo; m < hi; m++ {
+		num += d.mass[m] * q[d.pts[m]]
+	}
+	avg := num / d.den[s]
+	for m := lo; m < hi; m++ {
+		q[d.pts[m]] = avg
 	}
 }
 
@@ -243,6 +325,11 @@ func (d *DSS) ApplyAll(fields ...[][]float64) {
 // bases agree and this reduces to the scalar average.
 func (d *DSS) ApplyVector(v1, v2 [][]float64) {
 	g := d.g
+	f1, f2 := g.Slab(v1), g.Slab(v2)
+	if f1 != nil && f2 != nil {
+		d.applyVectorFlat(f1, f2)
+		return
+	}
 	npts := g.PointsPerElem()
 	for _, sn := range d.shared {
 		var sx, sy, sz, den float64
@@ -264,6 +351,40 @@ func (d *DSS) ApplyVector(v1, v2 [][]float64) {
 			v1[e][idx] = sx*ea.X + sy*ea.Y + sz*ea.Z
 			v2[e][idx] = sx*eb.X + sy*eb.Y + sz*eb.Z
 		}
+	}
+}
+
+// applyVectorFlat is ApplyVector on contiguous slabs via the exchange plan:
+// the per-member metric and basis vectors come from the plan's vgeo cache
+// instead of random lookups through the per-element views.
+func (d *DSS) applyVectorFlat(v1, v2 []float64) {
+	for s := range d.den {
+		d.applyVectorNodeFlat(v1, v2, int32(s))
+	}
+}
+
+// applyVectorNodeFlat assembles one shared node of the covariant-vector
+// projection on slabs (v1, v2).
+func (d *DSS) applyVectorNodeFlat(v1, v2 []float64, s int32) {
+	lo, hi := d.ptr[s], d.ptr[s+1]
+	var sx, sy, sz float64
+	for m := lo; m < hi; m++ {
+		p := d.pts[m]
+		vg := &d.vgeo[m]
+		u1 := vg.gi11*v1[p] + vg.gi12*v2[p]
+		u2 := vg.gi12*v1[p] + vg.gi22*v2[p]
+		w := d.mass[m]
+		sx += w * (u1*vg.ea.X + u2*vg.eb.X)
+		sy += w * (u1*vg.ea.Y + u2*vg.eb.Y)
+		sz += w * (u1*vg.ea.Z + u2*vg.eb.Z)
+	}
+	den := d.den[s]
+	sx, sy, sz = sx/den, sy/den, sz/den
+	for m := lo; m < hi; m++ {
+		p := d.pts[m]
+		vg := &d.vgeo[m]
+		v1[p] = sx*vg.ea.X + sy*vg.ea.Y + sz*vg.ea.Z
+		v2[p] = sx*vg.eb.X + sy*vg.eb.Y + sz*vg.eb.Z
 	}
 }
 

@@ -24,6 +24,13 @@ const Gravity = 9.80616
 // Index conventions: element point (a, b), with a the alpha index and b the
 // beta index, is stored at flat index b*Np + a. Coordinate 1 is alpha,
 // coordinate 2 is beta.
+//
+// Memory layout: every per-point array is one contiguous element-major slab
+// ([]T of length K*Np*Np); the exported [][]T fields are per-element
+// subslice views into that slab, kept for API compatibility. Point (e, idx)
+// lives at slab offset e*Np*Np + idx, so a flat element-point id doubles as
+// a direct slab offset — the hot paths (batched RHS kernels, DSS exchange
+// plans) index the slabs and never chase the per-element slice headers.
 type Grid struct {
 	M      *mesh.Mesh
 	GLL    *GLL
@@ -32,7 +39,7 @@ type Grid struct {
 
 	Np int // GLL points per element edge
 
-	// Per element (indexed by mesh.ElemID), per GLL point arrays:
+	// Per element (indexed by mesh.ElemID), per GLL point views:
 	Pos   [][]mesh.Vec3 // position on the sphere of radius Radius
 	Ea    [][]mesh.Vec3 // covariant basis vector d(Pos)/d(alpha)
 	Eb    [][]mesh.Vec3 // covariant basis vector d(Pos)/d(beta)
@@ -44,6 +51,15 @@ type Grid struct {
 	GI12  [][]float64
 	GI22  [][]float64
 	Cor   [][]float64 // Coriolis parameter f = 2*Omega*z/Radius
+
+	// Contiguous element-major slabs backing the views above (same memory).
+	PosF, EaF, EbF            []mesh.Vec3
+	SqrtGF, G11F, G12F, G22F  []float64
+	GI11F, GI12F, GI22F, CorF []float64
+
+	// MassF is the precomputed quadrature mass of every point:
+	// w_a * w_b * sqrtG * (DAlpha/2)^2, element-major. MassWeight reads it.
+	MassF []float64
 
 	// DAlpha is the angular width of one element, pi/2 / Ne. The GLL
 	// reference derivative d/dxi converts to d/dalpha via 2/DAlpha.
@@ -115,30 +131,41 @@ func (g *Grid) pointAndBasis(f mesh.Face, alpha, beta float64) (p, ea, eb mesh.V
 	return p, proj(dca), proj(dcb)
 }
 
+// viewsOver carves per-element subslice views over the flat slab. The views
+// keep the slab's full capacity so Slab can recover the contiguous backing
+// from the first view.
+func viewsOver(flat []float64, k, npts int) [][]float64 {
+	out := make([][]float64, k)
+	for e := range out {
+		out[e] = flat[e*npts : (e+1)*npts]
+	}
+	return out
+}
+
+func viewsOverV(flat []mesh.Vec3, k, npts int) [][]mesh.Vec3 {
+	out := make([][]mesh.Vec3, k)
+	for e := range out {
+		out[e] = flat[e*npts : (e+1)*npts]
+	}
+	return out
+}
+
 // buildGeometry fills every per-point geometric array.
 func (g *Grid) buildGeometry() {
 	k := g.NumElems()
 	npts := g.PointsPerElem()
-	alloc := func() [][]float64 {
-		out := make([][]float64, k)
-		flat := make([]float64, k*npts)
-		for e := range out {
-			out[e], flat = flat[:npts], flat[npts:]
-		}
-		return out
+	alloc := func(slab *[]float64) [][]float64 {
+		*slab = make([]float64, k*npts)
+		return viewsOver(*slab, k, npts)
 	}
-	allocV := func() [][]mesh.Vec3 {
-		out := make([][]mesh.Vec3, k)
-		flat := make([]mesh.Vec3, k*npts)
-		for e := range out {
-			out[e], flat = flat[:npts], flat[npts:]
-		}
-		return out
+	allocV := func(slab *[]mesh.Vec3) [][]mesh.Vec3 {
+		*slab = make([]mesh.Vec3, k*npts)
+		return viewsOverV(*slab, k, npts)
 	}
-	g.Pos, g.Ea, g.Eb = allocV(), allocV(), allocV()
-	g.SqrtG, g.G11, g.G12, g.G22 = alloc(), alloc(), alloc(), alloc()
-	g.GI11, g.GI12, g.GI22 = alloc(), alloc(), alloc()
-	g.Cor = alloc()
+	g.Pos, g.Ea, g.Eb = allocV(&g.PosF), allocV(&g.EaF), allocV(&g.EbF)
+	g.SqrtG, g.G11, g.G12, g.G22 = alloc(&g.SqrtGF), alloc(&g.G11F), alloc(&g.G12F), alloc(&g.G22F)
+	g.GI11, g.GI12, g.GI22 = alloc(&g.GI11F), alloc(&g.GI12F), alloc(&g.GI22F)
+	g.Cor = alloc(&g.CorF)
 
 	for e := 0; e < k; e++ {
 		id := mesh.ElemID(e)
@@ -164,6 +191,24 @@ func (g *Grid) buildGeometry() {
 			}
 		}
 	}
+	g.buildMass()
+}
+
+// buildMass precomputes the quadrature mass of every GLL point into MassF
+// (exactly the expression MassWeight evaluates, so values are bitwise
+// identical to computing it on the fly).
+func (g *Grid) buildMass() {
+	np := g.Np
+	npts := np * np
+	g.MassF = make([]float64, g.NumElems()*npts)
+	for e := 0; e < g.NumElems(); e++ {
+		for b := 0; b < np; b++ {
+			for a := 0; a < np; a++ {
+				g.MassF[e*npts+b*np+a] =
+					g.GLL.Wts[a] * g.GLL.Wts[b] * g.SqrtG[e][b*np+a] * (g.DAlpha / 2) * (g.DAlpha / 2)
+			}
+		}
+	}
 }
 
 // SetRotationAxis re-evaluates the Coriolis parameter for a planet rotating
@@ -179,16 +224,41 @@ func (g *Grid) SetRotationAxis(axis mesh.Vec3) {
 }
 
 // Field allocates a scalar field on the grid: one value per GLL point per
-// element, stored as [K][Np*Np].
+// element, stored as [K][Np*Np] views over one contiguous element-major
+// slab (use Slab to recover the backing).
 func (g *Grid) Field() [][]float64 {
+	_, views := g.FieldSlab()
+	return views
+}
+
+// FieldSlab allocates a scalar field and returns both the contiguous
+// element-major backing slab (length K*Np*Np; point (e, idx) at offset
+// e*Np*Np+idx) and the per-element subslice views over it.
+func (g *Grid) FieldSlab() (flat []float64, views [][]float64) {
 	k := g.NumElems()
 	npts := g.PointsPerElem()
-	out := make([][]float64, k)
-	flat := make([]float64, k*npts)
-	for e := range out {
-		out[e], flat = flat[:npts], flat[npts:]
+	flat = make([]float64, k*npts)
+	return flat, viewsOver(flat, k, npts)
+}
+
+// Slab returns the contiguous element-major backing of a field whose
+// per-element views all alias one flat allocation (as produced by Field or
+// FieldSlab), or nil if the views are not a single contiguous block. Hot
+// paths use the slab directly; callers that handed in independently
+// allocated rows fall back to the view-based paths.
+func (g *Grid) Slab(q [][]float64) []float64 {
+	k := g.NumElems()
+	npts := g.PointsPerElem()
+	if len(q) != k || k == 0 || len(q[0]) != npts || cap(q[0]) < k*npts {
+		return nil
 	}
-	return out
+	flat := q[0][:k*npts]
+	for e := 1; e < k; e++ {
+		if len(q[e]) != npts || &q[e][0] != &flat[e*npts] {
+			return nil
+		}
+	}
+	return flat
 }
 
 // DiffAlpha computes the alpha-derivative of the element field u (length
@@ -211,39 +281,113 @@ func (g *Grid) DiffAlpha(u, du []float64) {
 }
 
 // DiffBeta computes the beta-derivative of the element field u into du, in
-// physical angle units.
+// physical angle units. Implemented as row-axpy accumulation (unit stride)
+// rather than strided dot products; every output point still receives its
+// terms in ascending j from an explicit zero, so results are bitwise
+// identical to the naive form.
 func (g *Grid) DiffBeta(u, du []float64) {
 	np := g.Np
 	d := g.GLL.D
 	scale := 2 / g.DAlpha
 	for i := 0; i < np; i++ {
+		out := du[i*np : (i+1)*np]
+		drow := d[i*np : (i+1)*np]
 		for a := 0; a < np; a++ {
-			var s float64
-			drow := d[i*np : (i+1)*np]
-			for j := 0; j < np; j++ {
-				s += drow[j] * u[j*np+a]
+			out[a] = 0
+		}
+		for j := 0; j < np; j++ {
+			c := drow[j]
+			urow := u[j*np : (j+1)*np]
+			for a := 0; a < np; a++ {
+				out[a] += c * urow[a]
 			}
-			du[i*np+a] = s * scale
+		}
+		for a := 0; a < np; a++ {
+			out[a] *= scale
 		}
 	}
 }
 
+// DiffAlphaBeta computes both the alpha- and beta-derivatives of the element
+// field u (length Np*Np) into dua and dub in one fused call. The summation
+// order per output point is identical to DiffAlpha/DiffBeta, so results are
+// bitwise identical; the beta pass is restructured as row-axpy updates
+// (accumulating D[i][j] * row_j of u into row i of dub), which streams
+// unit-stride instead of striding by Np.
+func (g *Grid) DiffAlphaBeta(u, dua, dub []float64) {
+	np := g.Np
+	d := g.GLL.D
+	scale := 2 / g.DAlpha
+	// Alpha: independent dot products along each beta row.
+	for b := 0; b < np; b++ {
+		row := u[b*np : (b+1)*np]
+		out := dua[b*np : (b+1)*np]
+		for i := 0; i < np; i++ {
+			drow := d[i*np : (i+1)*np]
+			var s float64
+			for j := 0; j < np; j++ {
+				s += drow[j] * row[j]
+			}
+			out[i] = s * scale
+		}
+	}
+	// Beta: for each output row i, accumulate sum_j D[i][j] * u_row_j. Each
+	// output point receives its terms in ascending j, exactly as the
+	// dot-product form, starting from an explicit zero.
+	for i := 0; i < np; i++ {
+		out := dub[i*np : (i+1)*np]
+		drow := d[i*np : (i+1)*np]
+		for a := 0; a < np; a++ {
+			out[a] = 0
+		}
+		for j := 0; j < np; j++ {
+			c := drow[j]
+			urow := u[j*np : (j+1)*np]
+			for a := 0; a < np; a++ {
+				out[a] += c * urow[a]
+			}
+		}
+		for a := 0; a < np; a++ {
+			out[a] *= scale
+		}
+	}
+}
+
+// DiffBatch computes both derivatives of the listed elements' blocks of the
+// flat element-major slab u into the slabs dua and dub: the batched form of
+// DiffAlphaBeta that a rank applies to its whole element list, streaming
+// each element's Np*Np block through cache once.
+func (g *Grid) DiffBatch(elems []int32, u, dua, dub []float64) {
+	npts := g.Np * g.Np
+	for _, e32 := range elems {
+		base := int(e32) * npts
+		g.DiffAlphaBeta(u[base:base+npts], dua[base:base+npts], dub[base:base+npts])
+	}
+}
+
 // MassWeight returns the quadrature mass of GLL point (a, b) of element e:
-// w_a * w_b * sqrtG (the local contribution to the global mass matrix).
+// w_a * w_b * sqrtG (the local contribution to the global mass matrix),
+// read from the precomputed MassF slab.
 func (g *Grid) MassWeight(e int, a, b int) float64 {
-	return g.GLL.Wts[a] * g.GLL.Wts[b] * g.SqrtG[e][b*g.Np+a] * (g.DAlpha / 2) * (g.DAlpha / 2)
+	return g.MassF[e*g.Np*g.Np+b*g.Np+a]
 }
 
 // Integrate returns the integral of field q over the whole sphere using GLL
 // quadrature.
 func (g *Grid) Integrate(q [][]float64) float64 {
 	var sum float64
-	np := g.Np
+	npts := g.PointsPerElem()
+	if flat := g.Slab(q); flat != nil {
+		for i, v := range flat {
+			sum += v * g.MassF[i]
+		}
+		return sum
+	}
 	for e := 0; e < g.NumElems(); e++ {
-		for b := 0; b < np; b++ {
-			for a := 0; a < np; a++ {
-				sum += q[e][b*np+a] * g.MassWeight(e, a, b)
-			}
+		qe := q[e]
+		me := g.MassF[e*npts : (e+1)*npts]
+		for i := 0; i < npts; i++ {
+			sum += qe[i] * me[i]
 		}
 	}
 	return sum

@@ -17,18 +17,25 @@ import "math"
 func (sw *ShallowWater) laplacian(q, out [][]float64) {
 	g := sw.G
 	npts := g.PointsPerElem()
+	scr := sw.scr
+	da, db, f1, f2 := scr.da1, scr.db1, scr.f1, scr.f2
 	for e := 0; e < g.NumElems(); e++ {
-		g.DiffAlpha(q[e], sw.da[e])
-		g.DiffBeta(q[e], sw.db[e])
+		base := e * npts
+		sq := g.SqrtGF[base : base+npts]
+		gi11 := g.GI11F[base : base+npts]
+		gi12 := g.GI12F[base : base+npts]
+		gi22 := g.GI22F[base : base+npts]
+		g.DiffAlphaBeta(q[e], da, db)
 		for i := 0; i < npts; i++ {
-			qa, qb := sw.da[e][i], sw.db[e][i]
-			sw.f1[e][i] = g.SqrtG[e][i] * (g.GI11[e][i]*qa + g.GI12[e][i]*qb)
-			sw.f2[e][i] = g.SqrtG[e][i] * (g.GI12[e][i]*qa + g.GI22[e][i]*qb)
+			qa, qb := da[i], db[i]
+			f1[i] = sq[i] * (gi11[i]*qa + gi12[i]*qb)
+			f2[i] = sq[i] * (gi12[i]*qa + gi22[i]*qb)
 		}
-		g.DiffAlpha(sw.f1[e], sw.da[e])
-		g.DiffBeta(sw.f2[e], sw.db[e])
+		g.DiffAlpha(f1, da)
+		g.DiffBeta(f2, db)
+		oute := out[e]
 		for i := 0; i < npts; i++ {
-			out[e][i] = (sw.da[e][i] + sw.db[e][i]) / g.SqrtG[e][i]
+			oute[i] = (da[i] + db[i]) / sq[i]
 		}
 	}
 	sw.Flops += rhsFlopsAdvection(g.NumElems(), g.Np) * 2

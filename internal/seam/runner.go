@@ -2,32 +2,60 @@ package seam
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Runner executes the shallow-water model with the spectral elements
 // distributed over ranks according to a partition, mimicking SEAM's MPI
-// parallelisation in-process: every rank is a goroutine that computes the
-// tendencies of its own elements and meets the other ranks at barriers
-// around each boundary exchange (the DSS). Shared GLL nodes are averaged by
-// a unique owner rank, and the bytes that would cross rank boundaries on a
+// parallelisation in-process. Shared GLL nodes are averaged by a unique
+// owner rank, and the bytes that would cross rank boundaries on a
 // distributed machine are tallied per rank, which is exactly the
 // "communication volume for a single processor" (spcv) of the paper.
+//
+// Scheduling: unlike an MPI job, the in-process runner does not dedicate a
+// goroutine to every rank — K can reach 1944 while the host has a handful
+// of cores, and 1944 parked goroutines crossing three barriers per RK stage
+// is pure scheduler overhead. Instead, min(NRanks, GOMAXPROCS) worker
+// goroutines drain the ranks of each phase from a shared atomic counter
+// (work stealing: a worker that finishes its rank grabs the next unclaimed
+// one), and the workers meet at a cyclic barrier between phases. Because
+// all element-local work of a rank (RK accumulation, stage-state build,
+// state copy) is consumed only by that same rank's next tendency
+// evaluation, it is folded into the next compute phase rather than fenced
+// separately, cutting the barriers per RK stage from three to two:
+//
+//	phase A: [finish previous stage's element-local updates] + RHS
+//	barrier  (all tendencies written)
+//	phase B: DSS assembly of owned shared nodes
+//	barrier  (all averaged values visible)
+//
+// The results remain bitwise identical to sequential ShallowWater.Step:
+// both paths run the same batched kernels, and phases only reorder work
+// across ranks that touch disjoint data.
 type Runner struct {
 	SW     *ShallowWater
 	Assign []int32 // element -> rank
 	NRanks int
 
+	// Workers overrides the number of worker goroutines used by Run when
+	// positive; the default is min(NRanks, GOMAXPROCS).
+	Workers int
+
 	elemsOf [][]int32 // rank -> owned elements
-	// ownedShared[r] indexes sw.Dss.shared: the shared nodes rank r owns
-	// (the rank of the node's first member element).
+	// ownedShared[r] indexes the DSS exchange plan's shared nodes owned by
+	// rank r (the rank of the node's first member element).
 	ownedShared [][]int32
 	// sentPerApply[r] is the number of bytes rank r sends in one DSS
 	// application of one field.
 	sentPerApply []int64
 
-	// BusyTime accumulates per-rank compute time (excluding barrier waits).
+	// BusyTime holds per-rank compute time (excluding barrier waits) of the
+	// most recent Run call only: Run resets it on entry, so busy/wall
+	// efficiency ratios are well-defined even after warm-up runs. Sum
+	// across calls yourself if you need a cumulative figure.
 	BusyTime []time.Duration
 }
 
@@ -90,7 +118,10 @@ func (r *Runner) BytesPerStep() []int64 {
 	return out
 }
 
-// barrier is a reusable cyclic barrier for NRanks goroutines.
+// barrier is a reusable cyclic barrier for n goroutines. The last arriver
+// may run a prepare action (under the barrier lock, before releasing the
+// others), which the scheduler uses to reset the work-stealing counter
+// between phases.
 type barrier struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -105,13 +136,20 @@ func newBarrier(n int) *barrier {
 	return b
 }
 
-func (b *barrier) wait() {
+func (b *barrier) wait() { b.waitThen(nil) }
+
+// waitThen blocks until all n goroutines arrive; the last arriver runs
+// prepare (if non-nil) before any goroutine is released.
+func (b *barrier) waitThen(prepare func()) {
 	b.mu.Lock()
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
 		b.count = 0
 		b.gen++
+		if prepare != nil {
+			prepare()
+		}
 		b.cond.Broadcast()
 	} else {
 		for gen == b.gen {
@@ -121,171 +159,159 @@ func (b *barrier) wait() {
 	b.mu.Unlock()
 }
 
-// applyRank performs rank rk's portion of a DSS application: averaging the
-// shared nodes it owns. Callers must place barriers before (so all element
-// values are written) and after (so all averages are visible).
-func (r *Runner) applyRank(q [][]float64, rk int) {
+// applyRank performs rank rk's portion of a DSS application on the field
+// slab q: assembling the shared nodes it owns through the precomputed
+// exchange plan. Callers must place barriers before (so all element values
+// are written) and after (so all averages are visible).
+func (r *Runner) applyRank(q []float64, rk int) {
 	d := r.SW.Dss
-	npts := r.SW.G.PointsPerElem()
-	for _, si := range r.ownedShared[rk] {
-		sn := d.shared[si]
-		var num, den float64
-		for i, p := range sn.pts {
-			num += sn.mass[i] * q[int(p)/npts][int(p)%npts]
-			den += sn.mass[i]
-		}
-		avg := num / den
-		for _, p := range sn.pts {
-			q[int(p)/npts][int(p)%npts] = avg
-		}
+	for _, s := range r.ownedShared[rk] {
+		d.applyNodeFlat(q, s)
 	}
 }
 
 // applyVectorRank performs rank rk's portion of a covariant-vector DSS
 // application (see DSS.ApplyVector) for the shared nodes it owns.
-func (r *Runner) applyVectorRank(v1, v2 [][]float64, rk int) {
+func (r *Runner) applyVectorRank(v1, v2 []float64, rk int) {
 	d := r.SW.Dss
-	g := r.SW.G
-	npts := g.PointsPerElem()
-	for _, si := range r.ownedShared[rk] {
-		sn := d.shared[si]
-		var sx, sy, sz, den float64
-		for i, p := range sn.pts {
-			e, idx := int(p)/npts, int(p)%npts
-			u1 := g.GI11[e][idx]*v1[e][idx] + g.GI12[e][idx]*v2[e][idx]
-			u2 := g.GI12[e][idx]*v1[e][idx] + g.GI22[e][idx]*v2[e][idx]
-			ea, eb := g.Ea[e][idx], g.Eb[e][idx]
-			m := sn.mass[i]
-			sx += m * (u1*ea.X + u2*eb.X)
-			sy += m * (u1*ea.Y + u2*eb.Y)
-			sz += m * (u1*ea.Z + u2*eb.Z)
-			den += m
-		}
-		sx, sy, sz = sx/den, sy/den, sz/den
-		for _, p := range sn.pts {
-			e, idx := int(p)/npts, int(p)%npts
-			ea, eb := g.Ea[e][idx], g.Eb[e][idx]
-			v1[e][idx] = sx*ea.X + sy*ea.Y + sz*ea.Z
-			v2[e][idx] = sx*eb.X + sy*eb.Y + sz*eb.Z
-		}
-	}
-}
-
-// rhsRank evaluates the shallow-water tendencies for the elements of rank
-// rk, without the DSS (which the caller performs between barriers).
-func (r *Runner) rhsRank(rk int, v1, v2, phi, tv1, tv2, tphi [][]float64) {
-	sw := r.SW
-	g := sw.G
-	np := g.Np
-	npts := np * np
-	for _, e32 := range r.elemsOf[rk] {
-		e := int(e32)
-		gi11, gi12, gi22 := g.GI11[e], g.GI12[e], g.GI22[e]
-		sq := g.SqrtG[e]
-		cor := g.Cor[e]
-		for i := 0; i < npts; i++ {
-			sw.u1[e][i] = gi11[i]*v1[e][i] + gi12[i]*v2[e][i]
-			sw.u2[e][i] = gi12[i]*v1[e][i] + gi22[i]*v2[e][i]
-			sw.en[e][i] = phi[e][i] + 0.5*(sw.u1[e][i]*v1[e][i]+sw.u2[e][i]*v2[e][i])
-		}
-		g.DiffAlpha(v2[e], sw.da[e])
-		g.DiffBeta(v1[e], sw.db[e])
-		for i := 0; i < npts; i++ {
-			sw.zeta[e][i] = (sw.da[e][i] - sw.db[e][i]) / sq[i]
-		}
-		g.DiffAlpha(sw.en[e], sw.da[e])
-		g.DiffBeta(sw.en[e], sw.db[e])
-		for i := 0; i < npts; i++ {
-			pv := sw.zeta[e][i] + cor[i]
-			tv1[e][i] = +pv*sq[i]*sw.u2[e][i] - sw.da[e][i]
-			tv2[e][i] = -pv*sq[i]*sw.u1[e][i] - sw.db[e][i]
-		}
-		for i := 0; i < npts; i++ {
-			sw.f1[e][i] = sq[i] * phi[e][i] * sw.u1[e][i]
-			sw.f2[e][i] = sq[i] * phi[e][i] * sw.u2[e][i]
-		}
-		g.DiffAlpha(sw.f1[e], sw.da[e])
-		g.DiffBeta(sw.f2[e], sw.db[e])
-		for i := 0; i < npts; i++ {
-			tphi[e][i] = -(sw.da[e][i] + sw.db[e][i]) / sq[i]
-		}
+	for _, s := range r.ownedShared[rk] {
+		d.applyVectorNodeFlat(v1, v2, s)
 	}
 }
 
 // Run advances the model by the given number of RK4 steps of size dt with
-// all ranks running concurrently, and returns the wall-clock time of the
-// parallel section. The result is bitwise identical to the same number of
-// sequential ShallowWater.Step calls.
+// the ranks executed concurrently by a capped worker pool, and returns the
+// wall-clock time of the parallel section. The result is bitwise identical
+// to the same number of sequential ShallowWater.Step calls.
+//
+// BusyTime is reset at the start of every call and, on return, holds each
+// rank's compute time for this call only.
 func (r *Runner) Run(steps int, dt float64) time.Duration {
 	sw := r.SW
 	g := sw.G
+	for i := range r.BusyTime {
+		r.BusyTime[i] = 0
+	}
+	if steps <= 0 {
+		return 0
+	}
+
+	nw := r.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > r.NRanks {
+		nw = r.NRanks
+	}
+	bar := newBarrier(nw)
+	var next atomic.Int32
+	resetNext := func() { next.Store(0) }
+
+	stageCoef := [3]float64{dt / 2, dt / 2, dt}
+	accCoef := [4]float64{dt / 6, dt / 3, dt / 3, dt / 6}
+	nRanks := int32(r.NRanks)
+
+	// stagePrologue performs rank rk's element-local work that must precede
+	// its stage-st tendency evaluation: folding the previous stage's
+	// DSS-averaged tendencies into the RK accumulator, building the next
+	// stage state (stages 1-3) or finishing the previous step and copying
+	// state (stage 0), all on the rank's own element blocks.
 	npts := g.PointsPerElem()
-	bar := newBarrier(r.NRanks)
-	stageCoef := []float64{dt / 2, dt / 2, dt}
-	accCoef := []float64{dt / 6, dt / 3, dt / 3, dt / 6}
+	k1v1, k1v2, k1p := sw.k1v1F, sw.k1v2F, sw.k1pF
+	av1, av2, ap := sw.av1F, sw.av2F, sw.apF
+	sv1, sv2, sp := sw.sv1F, sw.sv2F, sw.spF
+	v1, v2, phi := sw.v1F, sw.v2F, sw.phiF
+
+	// finishStep folds the stage-3 tendencies into the accumulators and
+	// commits the accumulated state to the prognostic slabs for rank rk.
+	finishStep := func(rk int32) {
+		c := accCoef[3]
+		for _, e32 := range r.elemsOf[rk] {
+			base := int(e32) * npts
+			for i := base; i < base+npts; i++ {
+				av1[i] += c * k1v1[i]
+				av2[i] += c * k1v2[i]
+				ap[i] += c * k1p[i]
+			}
+			copy(v1[base:base+npts], av1[base:base+npts])
+			copy(v2[base:base+npts], av2[base:base+npts])
+			copy(phi[base:base+npts], ap[base:base+npts])
+		}
+	}
 
 	var wg sync.WaitGroup
 	start := time.Now()
-	for rk := 0; rk < r.NRanks; rk++ {
+	for w := 0; w < nw; w++ {
 		wg.Add(1)
-		go func(rk int) {
+		go func() {
 			defer wg.Done()
-			myElems := r.elemsOf[rk]
+			scr := newRHSScratch(npts)
 			for s := 0; s < steps; s++ {
-				busy := time.Now()
-				// Copy state into accumulators.
-				for _, e32 := range myElems {
-					e := int(e32)
-					copy(sw.av1[e], sw.V1[e])
-					copy(sw.av2[e], sw.V2[e])
-					copy(sw.ap[e], sw.Phi[e])
-				}
-				curV1, curV2, curP := sw.V1, sw.V2, sw.Phi
 				for st := 0; st < 4; st++ {
-					r.rhsRank(rk, curV1, curV2, curP, sw.k1v1, sw.k1v2, sw.k1p)
-					r.BusyTime[rk] += time.Since(busy)
-					bar.wait() // all tendencies written
-					busy = time.Now()
-					r.applyVectorRank(sw.k1v1, sw.k1v2, rk)
-					r.applyRank(sw.k1p, rk)
-					r.BusyTime[rk] += time.Since(busy)
-					bar.wait() // all averages visible
-					busy = time.Now()
-					c := accCoef[st]
-					for _, e32 := range myElems {
-						e := int(e32)
-						for i := 0; i < npts; i++ {
-							sw.av1[e][i] += c * sw.k1v1[e][i]
-							sw.av2[e][i] += c * sw.k1v2[e][i]
-							sw.ap[e][i] += c * sw.k1p[e][i]
-						}
+					// Phase A: element-local prologue + tendencies.
+					curV1, curV2, curP := v1, v2, phi
+					if st > 0 {
+						curV1, curV2, curP = sv1, sv2, sp
 					}
-					if st < 3 {
-						sc := stageCoef[st]
-						for _, e32 := range myElems {
-							e := int(e32)
-							for i := 0; i < npts; i++ {
-								sw.sv1[e][i] = sw.V1[e][i] + sc*sw.k1v1[e][i]
-								sw.sv2[e][i] = sw.V2[e][i] + sc*sw.k1v2[e][i]
-								sw.sp[e][i] = sw.Phi[e][i] + sc*sw.k1p[e][i]
+					for {
+						rk := next.Add(1) - 1
+						if rk >= nRanks {
+							break
+						}
+						busy := time.Now()
+						if st == 0 {
+							if s > 0 {
+								finishStep(rk)
+							}
+							for _, e32 := range r.elemsOf[rk] {
+								base := int(e32) * npts
+								copy(av1[base:base+npts], v1[base:base+npts])
+								copy(av2[base:base+npts], v2[base:base+npts])
+								copy(ap[base:base+npts], phi[base:base+npts])
+							}
+						} else {
+							c, sc := accCoef[st-1], stageCoef[st-1]
+							for _, e32 := range r.elemsOf[rk] {
+								base := int(e32) * npts
+								for i := base; i < base+npts; i++ {
+									av1[i] += c * k1v1[i]
+									av2[i] += c * k1v2[i]
+									ap[i] += c * k1p[i]
+									sv1[i] = v1[i] + sc*k1v1[i]
+									sv2[i] = v2[i] + sc*k1v2[i]
+									sp[i] = phi[i] + sc*k1p[i]
+								}
 							}
 						}
-						curV1, curV2, curP = sw.sv1, sw.sv2, sw.sp
+						sw.rhsElems(r.elemsOf[rk], scr, curV1, curV2, curP, k1v1, k1v2, k1p)
 						r.BusyTime[rk] += time.Since(busy)
-						bar.wait() // stage state complete before next RHS
-						busy = time.Now()
 					}
+					bar.waitThen(resetNext) // all tendencies written
+					// Phase B: DSS assembly of owned shared nodes.
+					for {
+						rk := next.Add(1) - 1
+						if rk >= nRanks {
+							break
+						}
+						busy := time.Now()
+						r.applyVectorRank(k1v1, k1v2, int(rk))
+						r.applyRank(k1p, int(rk))
+						r.BusyTime[rk] += time.Since(busy)
+					}
+					bar.waitThen(resetNext) // all averaged values visible
 				}
-				for _, e32 := range myElems {
-					e := int(e32)
-					copy(sw.V1[e], sw.av1[e])
-					copy(sw.V2[e], sw.av2[e])
-					copy(sw.Phi[e], sw.ap[e])
-				}
-				r.BusyTime[rk] += time.Since(busy)
-				bar.wait() // state updated before next step
 			}
-		}(rk)
+			// Final epilogue: commit the last stage and step.
+			for {
+				rk := next.Add(1) - 1
+				if rk >= nRanks {
+					break
+				}
+				busy := time.Now()
+				finishStep(rk)
+				r.BusyTime[rk] += time.Since(busy)
+			}
+		}()
 	}
 	wg.Wait()
 	// Meter the work exactly as the sequential Step does (the runner

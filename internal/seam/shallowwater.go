@@ -26,18 +26,50 @@ type ShallowWater struct {
 	G   *Grid
 	Dss *DSS
 
-	// Prognostic state: covariant velocity components and geopotential.
+	// Prognostic state: covariant velocity components and geopotential,
+	// exposed as per-element views over the contiguous slabs below.
 	V1, V2, Phi [][]float64
 
 	// Flops counts floating point operations performed so far.
 	Flops int64
 
-	// scratch fields
-	u1, u2, zeta, en   [][]float64
-	da, db, f1, f2, f3 [][]float64
-	k1v1, k1v2, k1p    [][]float64
-	sv1, sv2, sp       [][]float64
-	av1, av2, ap       [][]float64
+	// Contiguous element-major slabs backing the prognostic views (same
+	// memory; point (e, i) at offset e*Np*Np+i).
+	v1F, v2F, phiF []float64
+
+	// Tendency, RK stage-state and accumulator slabs, shared by the
+	// sequential Step and the parallel Runner (ranks touch disjoint
+	// element blocks).
+	k1v1F, k1v2F, k1pF []float64
+	sv1F, sv2F, spF    []float64
+	av1F, av2F, apF    []float64
+	// Per-element views of the tendency/stage slabs kept for the
+	// view-based helpers (hyperviscosity, diagnostics).
+	k1p, sp [][]float64
+
+	// allElems lists every element id, the "rank" of the sequential solver
+	// for the batched kernels.
+	allElems []int32
+
+	// scr is the per-element scratch used by the sequential RHS; the
+	// parallel Runner allocates one per worker instead.
+	scr *rhsScratch
+}
+
+// rhsScratch holds the Np*Np-sized per-element work buffers of one RHS
+// evaluation. Each concurrent evaluator owns one, so the hot loops touch a
+// cache-resident footprint instead of grid-sized scratch slabs.
+type rhsScratch struct {
+	u1, u2, en, f1, f2 []float64
+	da1, db1, da2, db2 []float64
+}
+
+func newRHSScratch(npts int) *rhsScratch {
+	s := &rhsScratch{}
+	for _, p := range []*[]float64{&s.u1, &s.u2, &s.en, &s.f1, &s.f2, &s.da1, &s.db1, &s.da2, &s.db2} {
+		*p = make([]float64, npts)
+	}
+	return s
 }
 
 // NewShallowWater builds a shallow-water solver on grid g with zero initial
@@ -48,17 +80,23 @@ func NewShallowWater(g *Grid) (*ShallowWater, error) {
 		return nil, err
 	}
 	sw := &ShallowWater{G: g, Dss: dss}
-	fields := []*[][]float64{
-		&sw.V1, &sw.V2, &sw.Phi,
-		&sw.u1, &sw.u2, &sw.zeta, &sw.en,
-		&sw.da, &sw.db, &sw.f1, &sw.f2, &sw.f3,
-		&sw.k1v1, &sw.k1v2, &sw.k1p,
-		&sw.sv1, &sw.sv2, &sw.sp,
-		&sw.av1, &sw.av2, &sw.ap,
+	sw.v1F, sw.V1 = g.FieldSlab()
+	sw.v2F, sw.V2 = g.FieldSlab()
+	sw.phiF, sw.Phi = g.FieldSlab()
+	sw.k1v1F, _ = g.FieldSlab()
+	sw.k1v2F, _ = g.FieldSlab()
+	sw.k1pF, sw.k1p = g.FieldSlab()
+	sw.sv1F, _ = g.FieldSlab()
+	sw.sv2F, _ = g.FieldSlab()
+	sw.spF, sw.sp = g.FieldSlab()
+	sw.av1F, _ = g.FieldSlab()
+	sw.av2F, _ = g.FieldSlab()
+	sw.apF, _ = g.FieldSlab()
+	sw.allElems = make([]int32, g.NumElems())
+	for e := range sw.allElems {
+		sw.allElems[e] = int32(e)
 	}
-	for _, f := range fields {
-		*f = g.Field()
-	}
+	sw.scr = newRHSScratch(g.PointsPerElem())
 	return sw, nil
 }
 
@@ -79,51 +117,75 @@ func (sw *ShallowWater) SetState(wind func(p mesh.Vec3) mesh.Vec3, phi func(p me
 	sw.Dss.Apply(sw.Phi)
 }
 
-// rhs evaluates the vector-invariant tendencies of state (v1, v2, phi) into
-// (tv1, tv2, tphi).
-func (sw *ShallowWater) rhs(v1, v2, phi, tv1, tv2, tphi [][]float64) {
+// rhsElems evaluates the vector-invariant tendencies of the listed elements
+// on flat element-major slabs, using scr for per-element scratch. This is
+// the single batched compute kernel shared by the sequential Step and the
+// parallel Runner (which calls it with each rank's element list), so the two
+// paths are bitwise identical by construction. No DSS, no flop metering:
+// the callers handle both.
+func (sw *ShallowWater) rhsElems(elems []int32, scr *rhsScratch, v1, v2, phi, tv1, tv2, tphi []float64) {
 	g := sw.G
-	np := g.Np
-	npts := np * np
-	for e := 0; e < g.NumElems(); e++ {
-		gi11, gi12, gi22 := g.GI11[e], g.GI12[e], g.GI22[e]
-		sq := g.SqrtG[e]
-		cor := g.Cor[e]
+	npts := g.Np * g.Np
+	u1, u2, en, f1, f2 := scr.u1, scr.u2, scr.en, scr.f1, scr.f2
+	da1, db1, da2, db2 := scr.da1, scr.db1, scr.da2, scr.db2
+	for _, e32 := range elems {
+		base := int(e32) * npts
+		v1e := v1[base : base+npts]
+		v2e := v2[base : base+npts]
+		pe := phi[base : base+npts]
+		tv1e := tv1[base : base+npts]
+		tv2e := tv2[base : base+npts]
+		tpe := tphi[base : base+npts]
+		gi11 := g.GI11F[base : base+npts]
+		gi12 := g.GI12F[base : base+npts]
+		gi22 := g.GI22F[base : base+npts]
+		sq := g.SqrtGF[base : base+npts]
+		cor := g.CorF[base : base+npts]
 
-		// Contravariant velocity and energy.
+		// Contravariant velocity, energy and mass fluxes, fused in one pass.
 		for i := 0; i < npts; i++ {
-			sw.u1[e][i] = gi11[i]*v1[e][i] + gi12[i]*v2[e][i]
-			sw.u2[e][i] = gi12[i]*v1[e][i] + gi22[i]*v2[e][i]
-			sw.en[e][i] = phi[e][i] + 0.5*(sw.u1[e][i]*v1[e][i]+sw.u2[e][i]*v2[e][i])
+			u1i := gi11[i]*v1e[i] + gi12[i]*v2e[i]
+			u2i := gi12[i]*v1e[i] + gi22[i]*v2e[i]
+			u1[i], u2[i] = u1i, u2i
+			en[i] = pe[i] + 0.5*(u1i*v1e[i]+u2i*v2e[i])
+			f1[i] = sq[i] * pe[i] * u1i
+			f2[i] = sq[i] * pe[i] * u2i
 		}
-		// Relative vorticity zeta = (d_a v2 - d_b v1)/sqrtG.
-		g.DiffAlpha(v2[e], sw.da[e])
-		g.DiffBeta(v1[e], sw.db[e])
+		// Vorticity derivatives d_a v2, d_b v1 and the energy gradient.
+		g.DiffAlpha(v2e, da1)
+		g.DiffBeta(v1e, db1)
+		g.DiffAlphaBeta(en, da2, db2)
+		// Momentum tendency (vorticity inlined: pv = zeta + f).
 		for i := 0; i < npts; i++ {
-			sw.zeta[e][i] = (sw.da[e][i] - sw.db[e][i]) / sq[i]
-		}
-		// Energy gradient.
-		g.DiffAlpha(sw.en[e], sw.da[e])
-		g.DiffBeta(sw.en[e], sw.db[e])
-		for i := 0; i < npts; i++ {
-			pv := sw.zeta[e][i] + cor[i]
-			tv1[e][i] = +pv*sq[i]*sw.u2[e][i] - sw.da[e][i]
-			tv2[e][i] = -pv*sq[i]*sw.u1[e][i] - sw.db[e][i]
+			pv := (da1[i]-db1[i])/sq[i] + cor[i]
+			tv1e[i] = +pv*sq[i]*u2[i] - da2[i]
+			tv2e[i] = -pv*sq[i]*u1[i] - db2[i]
 		}
 		// Continuity: -(1/sqrtG) div(sqrtG Phi u).
+		g.DiffAlpha(f1, da1)
+		g.DiffBeta(f2, db1)
 		for i := 0; i < npts; i++ {
-			sw.f1[e][i] = sq[i] * phi[e][i] * sw.u1[e][i]
-			sw.f2[e][i] = sq[i] * phi[e][i] * sw.u2[e][i]
-		}
-		g.DiffAlpha(sw.f1[e], sw.da[e])
-		g.DiffBeta(sw.f2[e], sw.db[e])
-		for i := 0; i < npts; i++ {
-			tphi[e][i] = -(sw.da[e][i] + sw.db[e][i]) / sq[i]
+			tpe[i] = -(da1[i] + db1[i]) / sq[i]
 		}
 	}
-	sw.Flops += rhsFlopsShallowWater(g.NumElems(), np)
-	sw.Dss.ApplyVector(tv1, tv2)
-	sw.Dss.Apply(tphi)
+}
+
+// rhs evaluates the tendencies of the full state (flat slabs) into
+// (tv1, tv2, tphi), including the DSS projection.
+func (sw *ShallowWater) rhs(v1, v2, phi, tv1, tv2, tphi []float64) {
+	g := sw.G
+	sw.rhsElems(sw.allElems, sw.scr, v1, v2, phi, tv1, tv2, tphi)
+	sw.Flops += rhsFlopsShallowWater(g.NumElems(), g.Np)
+	sw.Dss.applyVectorFlat(tv1, tv2)
+	sw.Dss.applyFlat(tphi)
+}
+
+// RHS evaluates one RK stage's tendencies of the current prognostic state
+// into the internal tendency buffers, including the DSS projection — the
+// compute + exchange unit the partitioner must balance. Exported for the
+// BenchmarkRHS micro-benchmark and for diagnostics.
+func (sw *ShallowWater) RHS() {
+	sw.rhs(sw.v1F, sw.v2F, sw.phiF, sw.k1v1F, sw.k1v2F, sw.k1pF)
 }
 
 // Step advances the state by one RK4 step of size dt seconds.
@@ -133,50 +195,41 @@ func (sw *ShallowWater) Step(dt float64) {
 	k := g.NumElems()
 
 	// Accumulators start as a copy of the state; stage states in sv*.
-	copyAll := func(dst, src [][]float64) {
-		for e := 0; e < k; e++ {
-			copy(dst[e], src[e])
-		}
-	}
-	copyAll(sw.av1, sw.V1)
-	copyAll(sw.av2, sw.V2)
-	copyAll(sw.ap, sw.Phi)
+	copy(sw.av1F, sw.v1F)
+	copy(sw.av2F, sw.v2F)
+	copy(sw.apF, sw.phiF)
 
-	type fieldSet struct{ v1, v2, p [][]float64 }
-	state := fieldSet{sw.V1, sw.V2, sw.Phi}
-	stage := fieldSet{sw.sv1, sw.sv2, sw.sp}
-	tend := fieldSet{sw.k1v1, sw.k1v2, sw.k1p}
+	stageCoef := [3]float64{dt / 2, dt / 2, dt}
+	accCoef := [4]float64{dt / 6, dt / 3, dt / 3, dt / 6}
 
-	stageCoef := []float64{dt / 2, dt / 2, dt}
-	accCoef := []float64{dt / 6, dt / 3, dt / 3, dt / 6}
-
-	cur := state
+	curV1, curV2, curP := sw.v1F, sw.v2F, sw.phiF
 	for s := 0; s < 4; s++ {
-		sw.rhs(cur.v1, cur.v2, cur.p, tend.v1, tend.v2, tend.p)
-		// Accumulate into the final answer.
+		sw.rhs(curV1, curV2, curP, sw.k1v1F, sw.k1v2F, sw.k1pF)
+		// Accumulate into the final answer and (stages 0-2) build the next
+		// stage state, fused into one pass over the slabs.
 		c := accCoef[s]
-		for e := 0; e < k; e++ {
-			for i := 0; i < npts; i++ {
-				sw.av1[e][i] += c * tend.v1[e][i]
-				sw.av2[e][i] += c * tend.v2[e][i]
-				sw.ap[e][i] += c * tend.p[e][i]
-			}
-		}
 		if s < 3 {
 			sc := stageCoef[s]
-			for e := 0; e < k; e++ {
-				for i := 0; i < npts; i++ {
-					stage.v1[e][i] = sw.V1[e][i] + sc*tend.v1[e][i]
-					stage.v2[e][i] = sw.V2[e][i] + sc*tend.v2[e][i]
-					stage.p[e][i] = sw.Phi[e][i] + sc*tend.p[e][i]
-				}
+			for i := range sw.k1v1F {
+				sw.av1F[i] += c * sw.k1v1F[i]
+				sw.av2F[i] += c * sw.k1v2F[i]
+				sw.apF[i] += c * sw.k1pF[i]
+				sw.sv1F[i] = sw.v1F[i] + sc*sw.k1v1F[i]
+				sw.sv2F[i] = sw.v2F[i] + sc*sw.k1v2F[i]
+				sw.spF[i] = sw.phiF[i] + sc*sw.k1pF[i]
 			}
-			cur = stage
+			curV1, curV2, curP = sw.sv1F, sw.sv2F, sw.spF
+		} else {
+			for i := range sw.k1v1F {
+				sw.av1F[i] += c * sw.k1v1F[i]
+				sw.av2F[i] += c * sw.k1v2F[i]
+				sw.apF[i] += c * sw.k1pF[i]
+			}
 		}
 	}
-	copyAll(sw.V1, sw.av1)
-	copyAll(sw.V2, sw.av2)
-	copyAll(sw.Phi, sw.ap)
+	copy(sw.v1F, sw.av1F)
+	copy(sw.v2F, sw.av2F)
+	copy(sw.phiF, sw.apF)
 	sw.Flops += int64(k) * int64(npts) * 3 * 4 * 4
 }
 
