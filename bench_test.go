@@ -139,7 +139,7 @@ func BenchmarkSFCPartition(b *testing.B) {
 // BenchmarkMetisRB measures the recursive-bisection baseline on the same
 // problem.
 func BenchmarkMetisRB(b *testing.B) {
-	g, err := graph.FromMesh(mesh.MustNew(16), graph.DefaultOptions())
+	g, err := graph.FromMesh(mustMesh(b, 16), graph.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func BenchmarkMetisRB(b *testing.B) {
 
 // BenchmarkMetisKWay measures the K-way baseline.
 func BenchmarkMetisKWay(b *testing.B) {
-	g, err := graph.FromMesh(mesh.MustNew(16), graph.DefaultOptions())
+	g, err := graph.FromMesh(mustMesh(b, 16), graph.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -346,4 +346,14 @@ func BenchmarkAMRPartition(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// mustMesh builds a cubed-sphere mesh or fails the benchmark.
+func mustMesh(tb testing.TB, ne int) *mesh.Mesh {
+	tb.Helper()
+	m, err := mesh.New(ne)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
 }

@@ -11,7 +11,12 @@
 //
 // Experiments: table1, table2, fig7, fig8, fig9, fig10, k1944,
 // ablation-order, ablation-corners, ablation-tv, ablation-orderings,
-// future-scaling, dynamic, fidelity, amr.
+// future-scaling, dynamic, fidelity, amr, golden.
+//
+// The golden experiment recomputes the frozen partition-quality metrics
+// behind internal/check/testdata/golden/metrics.json; with -out it writes
+// golden-metrics.json ready to be copied over the checked-in file (see
+// TESTING.md for the refresh policy).
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"sfccube/internal/check"
 	"sfccube/internal/experiments"
 )
 
@@ -57,6 +63,7 @@ func runAll(run, out string, seed int64, tvSeeds int) error {
 		{"dynamic", func() (any, error) { return experiments.DynamicRepartition(seed) }},
 		{"fidelity", func() (any, error) { return experiments.ModelFidelity(seed) }},
 		{"amr", func() (any, error) { return experiments.AMRPartition(seed) }},
+		{"golden", func() (any, error) { return check.ComputeGoldenSuite(check.DefaultGoldenCases()) }},
 	}
 	found := false
 	for _, ex := range exps {
@@ -96,6 +103,17 @@ func emit(result any, out string) error {
 				return err
 			}
 			if err := writeFile(out, r.Name+".svg", r.SVG()); err != nil {
+				return err
+			}
+		}
+	case *check.GoldenSuite:
+		b, err := r.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Print(string(b))
+		if out != "" {
+			if err := writeFile(out, "golden-metrics.json", string(b)); err != nil {
 				return err
 			}
 		}

@@ -23,7 +23,10 @@ import (
 
 func main() {
 	const ne, nproc = 8, 64
-	base := mesh.MustNew(ne)
+	base, err := mesh.New(ne)
+	if err != nil {
+		log.Fatal(err)
+	}
 	storm := mesh.Vec3{X: 1, Y: 0, Z: 0}
 
 	forest, err := amr.NewForest(ne, 2, func(l amr.Leaf) bool {

@@ -14,7 +14,7 @@ func TestNoRefinementMatchesBaseMesh(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m := mesh.MustNew(ne)
+		m := mustMesh(t, ne)
 		if f.NumLeaves() != m.NumElems() {
 			t.Fatalf("ne=%d: %d leaves, want %d", ne, f.NumLeaves(), m.NumElems())
 		}
@@ -43,7 +43,7 @@ func TestUniformRefinementMatchesFinerMesh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := mesh.MustNew(2 * ne)
+	m := mustMesh(t, 2*ne)
 	if f.NumLeaves() != m.NumElems() {
 		t.Fatalf("%d leaves, want %d", f.NumLeaves(), m.NumElems())
 	}
@@ -220,7 +220,7 @@ func TestFaceFrameConsistentWithMesh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := mesh.MustNew(ne)
+	m := mustMesh(t, ne)
 	for i, l := range f.Leaves() {
 		id := m.ID(l.Face, l.X, l.Y)
 		want := map[int32]bool{}
@@ -235,4 +235,14 @@ func TestFaceFrameConsistentWithMesh(t *testing.T) {
 			}
 		}
 	}
+}
+
+// mustMesh builds a cubed-sphere mesh or fails the test.
+func mustMesh(tb testing.TB, ne int) *mesh.Mesh {
+	tb.Helper()
+	m, err := mesh.New(ne)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
 }

@@ -1,0 +1,115 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sfccube/internal/seam"
+)
+
+// ValidateDSS checks a direct-stiffness-summation assembly from the outside,
+// complementing the white-box plan invariants of seam.(*DSS).Validate():
+//
+//   - the global node count matches the Euler-characteristic formula for a
+//     conforming cubed-sphere GLL grid, V = 6*(Ne*N)^2 + 2;
+//   - points identified topologically coincide geometrically: all element
+//     points mapped to one global node sit at the same position on the
+//     sphere (within a metric tolerance), including across cube-face seams;
+//   - Apply is a projection: after one application the field is exactly
+//     continuous (MaxDiscontinuity == 0) and a second application changes
+//     nothing beyond roundoff;
+//   - Apply conserves the mass-weighted integral sum(Mass * q) to roundoff
+//     (the mass-weighted average redistributes, never creates, mass).
+//
+// A deterministic pseudo-random field seeded by seed exercises the
+// numerical properties.
+func ValidateDSS(g *seam.Grid, d *seam.DSS, seed int64) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	ne, n := g.M.Ne(), g.Np-1
+	if want := 6*(ne*n)*(ne*n) + 2; d.NumGlobalNodes() != want {
+		return fmt.Errorf("check: %d global nodes, want 6*(Ne*N)^2+2 = %d", d.NumGlobalNodes(), want)
+	}
+	// Geometric coincidence of topologically identified points.
+	npts := g.PointsPerElem()
+	groups := make(map[int32][]int, d.NumGlobalNodes())
+	for e := 0; e < g.NumElems(); e++ {
+		for idx := 0; idx < npts; idx++ {
+			gid := d.GlobalNode(e, idx)
+			groups[gid] = append(groups[gid], e*npts+idx)
+		}
+	}
+	sharedGroups := 0
+	tol := 1e-8 * g.Radius
+	for gid, pts := range groups {
+		if len(pts) < 2 {
+			continue
+		}
+		sharedGroups++
+		p0 := g.PosF[pts[0]]
+		for _, p := range pts[1:] {
+			if g.PosF[p].Sub(p0).Norm() > tol {
+				return fmt.Errorf("check: global node %d members %d and %d are %.3g m apart",
+					gid, pts[0], p, g.PosF[p].Sub(p0).Norm())
+			}
+		}
+	}
+	if sharedGroups != d.NumSharedNodes() {
+		return fmt.Errorf("check: %d groups with >=2 members, but NumSharedNodes()=%d",
+			sharedGroups, d.NumSharedNodes())
+	}
+	// Numerical properties on a deterministic random field.
+	rng := rand.New(rand.NewSource(seed))
+	flat, q := g.FieldSlab()
+	for i := range flat {
+		flat[i] = rng.Float64()*2 - 1
+	}
+	massBefore := massIntegral(g, flat)
+	d.Apply(q)
+	if disc := d.MaxDiscontinuity(q); disc != 0 {
+		return fmt.Errorf("check: discontinuity %g after Apply, want exactly 0", disc)
+	}
+	massAfter := massIntegral(g, flat)
+	// Normalise by the L1 scale sum(Mass * |q|), not by the signed integral:
+	// on a zero-mean random field the signed integral nearly cancels, so
+	// dividing by it inflates pure roundoff into an apparent violation (the
+	// fuzzer found a seed where the signed ratio reached 1e-11 while the
+	// conditioned error stayed below 1e-15).
+	scale := math.Max(massScale(g, flat), 1e-300)
+	if rel := math.Abs(massAfter-massBefore) / scale; rel > 1e-12 {
+		return fmt.Errorf("check: Apply changed the mass integral by %g of the L1 scale (%g -> %g)",
+			rel, massBefore, massAfter)
+	}
+	// Idempotence: a second application must be a no-op beyond roundoff.
+	before := append([]float64(nil), flat...)
+	d.Apply(q)
+	for i := range flat {
+		if math.Abs(flat[i]-before[i]) > 1e-12 {
+			return fmt.Errorf("check: Apply not idempotent at point %d: %g -> %g", i, before[i], flat[i])
+		}
+	}
+	return nil
+}
+
+// massIntegral returns sum_i Mass_i * q_i over the whole grid — the discrete
+// integral the DSS projection must conserve.
+func massIntegral(g *seam.Grid, flat []float64) float64 {
+	var s float64
+	for i, m := range g.MassF {
+		s += m * flat[i]
+	}
+	return s
+}
+
+// massScale returns sum_i Mass_i * |q_i|, the L1 magnitude against which
+// mass-integral drift is measured (the signed integral can cancel to near
+// zero on sign-mixed fields, which would misrepresent roundoff as drift).
+func massScale(g *seam.Grid, flat []float64) float64 {
+	var s float64
+	for i, m := range g.MassF {
+		s += m * math.Abs(flat[i])
+	}
+	return s
+}

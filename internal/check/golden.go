@@ -1,0 +1,188 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// GoldenCase freezes the quality metrics of one (mesh, part-count, method)
+// cell — the numbers behind the paper's section-4 tables — so later PRs fail
+// loudly when a refactor drifts partition quality.
+type GoldenCase struct {
+	Ne     int    `json:"ne"`
+	NProcs int    `json:"nprocs"`
+	Method string `json:"method"`
+	Seed   int64  `json:"seed"`
+
+	LBNelemd    float64 `json:"lb_nelemd"`
+	LBSpcv      float64 `json:"lb_spcv"`
+	EdgeCut     int64   `json:"edgecut"`
+	TCV         int64   `json:"tcv"`
+	CutVertices int64   `json:"cut_vertices"`
+}
+
+// GoldenTolerance is the drift policy applied when comparing a recomputed
+// metric set against a frozen golden case. The zero value picks the defaults
+// documented in TESTING.md: load balances within 0.01 absolute, integer
+// metrics within 2% relative (and never off by more than the absolute floor
+// of 2 for tiny values).
+type GoldenTolerance struct {
+	LBAbs    float64 `json:"lb_abs"`    // absolute slack on LB metrics; 0 means 0.01
+	IntRel   float64 `json:"int_rel"`   // relative slack on integer metrics; 0 means 0.02
+	IntFloor int64   `json:"int_floor"` // absolute slack floor for small integers; 0 means 2
+}
+
+func (t GoldenTolerance) withDefaults() GoldenTolerance {
+	if t.LBAbs == 0 {
+		t.LBAbs = 0.01
+	}
+	if t.IntRel == 0 {
+		t.IntRel = 0.02
+	}
+	if t.IntFloor == 0 {
+		t.IntFloor = 2
+	}
+	return t
+}
+
+// GoldenSuite is the serialised regression file: the tolerance policy plus
+// every frozen case.
+type GoldenSuite struct {
+	Comment   string          `json:"comment,omitempty"`
+	Tolerance GoldenTolerance `json:"tolerance"`
+	Cases     []GoldenCase    `json:"cases"`
+}
+
+// DefaultGoldenCases is the case matrix the golden suite freezes: the
+// paper's Table-2 configuration (Ne=16 on 768 processors) plus the
+// acceptance matrix K in {4, 16, 64}, for every method.
+func DefaultGoldenCases() []Case {
+	var out []Case
+	for _, nprocs := range []int{4, 16, 64, 768} {
+		out = append(out, Case{Ne: 16, NProcs: nprocs, Seed: 1})
+	}
+	return out
+}
+
+// ComputeGoldenSuite runs the differential harness over the case matrix and
+// captures the frozen metrics for every method.
+func ComputeGoldenSuite(cases []Case) (*GoldenSuite, error) {
+	s := &GoldenSuite{
+		Comment: "Frozen partition-quality metrics (paper section 4). " +
+			"Refresh with: go test ./internal/check -run TestGoldenMetrics -update-golden " +
+			"or: go run ./cmd/experiments -run golden -out <dir>. See TESTING.md.",
+		Tolerance: GoldenTolerance{}.withDefaults(),
+	}
+	for _, c := range cases {
+		r, err := RunDifferential(c)
+		if err != nil {
+			return nil, err
+		}
+		for _, method := range Methods {
+			m := r.Metrics[method]
+			s.Cases = append(s.Cases, GoldenCase{
+				Ne: c.Ne, NProcs: c.NProcs, Method: method, Seed: c.Seed,
+				LBNelemd:    m.LBNelemd,
+				LBSpcv:      m.LBSpcv,
+				EdgeCut:     m.EdgeCut,
+				TCV:         m.TotalCommVolume,
+				CutVertices: m.CutVertices,
+			})
+		}
+	}
+	return s, nil
+}
+
+// JSON renders the suite as indented JSON with a trailing newline, the
+// format of testdata/golden/*.json.
+func (s *GoldenSuite) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// LoadGoldenSuite reads a golden file from disk.
+func LoadGoldenSuite(path string) (*GoldenSuite, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s GoldenSuite
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("check: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Compare recomputes every frozen case of the suite and returns an error on
+// the first metric that drifted beyond the tolerance policy.
+func (s *GoldenSuite) Compare() error {
+	tol := s.Tolerance.withDefaults()
+	// Group cases so each (Ne, NProcs, Seed) is partitioned once.
+	type key struct {
+		ne, nprocs int
+		seed       int64
+	}
+	results := make(map[key]*Result)
+	for _, gc := range s.Cases {
+		k := key{gc.Ne, gc.NProcs, gc.Seed}
+		r, ok := results[k]
+		if !ok {
+			var err error
+			r, err = RunDifferential(Case{Ne: gc.Ne, NProcs: gc.NProcs, Seed: gc.Seed})
+			if err != nil {
+				return err
+			}
+			results[k] = r
+		}
+		m, ok := r.Metrics[gc.Method]
+		if !ok {
+			return fmt.Errorf("check: golden case %s ne=%d nprocs=%d: unknown method", gc.Method, gc.Ne, gc.NProcs)
+		}
+		label := fmt.Sprintf("golden %s ne=%d nprocs=%d", gc.Method, gc.Ne, gc.NProcs)
+		if err := compareLB(label+" lb_nelemd", m.LBNelemd, gc.LBNelemd, tol); err != nil {
+			return err
+		}
+		if err := compareLB(label+" lb_spcv", m.LBSpcv, gc.LBSpcv, tol); err != nil {
+			return err
+		}
+		if err := compareInt(label+" edgecut", m.EdgeCut, gc.EdgeCut, tol); err != nil {
+			return err
+		}
+		if err := compareInt(label+" tcv", m.TotalCommVolume, gc.TCV, tol); err != nil {
+			return err
+		}
+		if err := compareInt(label+" cut_vertices", m.CutVertices, gc.CutVertices, tol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func compareLB(label string, got, want float64, tol GoldenTolerance) error {
+	if math.Abs(got-want) > tol.LBAbs {
+		return fmt.Errorf("check: %s drifted: got %.6f, golden %.6f (tolerance %.3f absolute)",
+			label, got, want, tol.LBAbs)
+	}
+	return nil
+}
+
+func compareInt(label string, got, want int64, tol GoldenTolerance) error {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	slack := int64(tol.IntRel * float64(want))
+	if slack < tol.IntFloor {
+		slack = tol.IntFloor
+	}
+	if diff > slack {
+		return fmt.Errorf("check: %s drifted: got %d, golden %d (tolerance %d = max(%.0f%%, %d))",
+			label, got, want, slack, tol.IntRel*100, tol.IntFloor)
+	}
+	return nil
+}

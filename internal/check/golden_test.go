@@ -1,0 +1,87 @@
+package check
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"recompute testdata/golden/metrics.json from the current implementation instead of comparing against it")
+
+const goldenPath = "testdata/golden/metrics.json"
+
+// TestGoldenMetrics is the drift gate on partition quality: it recomputes
+// every frozen (mesh, part-count, method) cell of the golden suite and fails
+// on any metric outside the suite's tolerance policy. After an intentional
+// quality change, refresh the frozen file with
+//
+//	go test ./internal/check -run TestGoldenMetrics -update-golden
+//
+// (or go run ./cmd/experiments -run golden -out <dir>) and commit the diff —
+// the refresh path still validates every regenerated partition against the
+// structural oracle and the stats cross-check.
+func TestGoldenMetrics(t *testing.T) {
+	if *updateGolden {
+		s, err := ComputeGoldenSuite(DefaultGoldenCases())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", goldenPath, len(s.Cases))
+		return
+	}
+	s, err := LoadGoldenSuite(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if err := s.Compare(); err != nil {
+		t.Error(err)
+	}
+}
+
+// The frozen file must stay in lockstep with the declared case matrix: every
+// (case, method) cell present exactly once, so a partial refresh cannot
+// silently narrow the gate.
+func TestGoldenSuiteCoversCaseMatrix(t *testing.T) {
+	s, err := LoadGoldenSuite(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	want := DefaultGoldenCases()
+	if got := len(s.Cases); got != len(want)*len(Methods) {
+		t.Fatalf("golden file has %d cells, want %d cases x %d methods",
+			got, len(want), len(Methods))
+	}
+	type cell struct {
+		ne, nprocs int
+		method     string
+	}
+	seen := make(map[cell]int)
+	for _, gc := range s.Cases {
+		seen[cell{gc.Ne, gc.NProcs, gc.Method}]++
+	}
+	for _, c := range want {
+		for _, m := range Methods {
+			if n := seen[cell{c.Ne, c.NProcs, m}]; n != 1 {
+				t.Errorf("cell (ne=%d, nprocs=%d, %s) appears %d times, want 1", c.Ne, c.NProcs, m, n)
+			}
+		}
+	}
+	// The frozen SFC rows must exhibit the paper's headline property.
+	for _, gc := range s.Cases {
+		if gc.Method == "SFC" && (6*gc.Ne*gc.Ne)%gc.NProcs == 0 && gc.LBNelemd != 0 {
+			t.Errorf("frozen SFC cell (ne=%d, nprocs=%d) has LB %g, want 0", gc.Ne, gc.NProcs, gc.LBNelemd)
+		}
+	}
+}

@@ -80,7 +80,7 @@ func TestRepartitionerTracksMovingLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := mesh.MustNew(ne)
+	m := mustMesh(t, ne)
 	k := m.NumElems()
 	weightsAt := func(phase float64) []int64 {
 		w := make([]int64, k)
@@ -161,4 +161,14 @@ func TestRepartitionerPartCountChange(t *testing.T) {
 	if mig.Moved != 0 {
 		t.Errorf("migration across part-count change should be zero, got %d", mig.Moved)
 	}
+}
+
+// mustMesh builds a cubed-sphere mesh or fails the test.
+func mustMesh(tb testing.TB, ne int) *mesh.Mesh {
+	tb.Helper()
+	m, err := mesh.New(ne)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
 }

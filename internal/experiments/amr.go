@@ -24,7 +24,10 @@ func AMRPartition(seed int64) (*Table, error) {
 	}
 	const ne = 8
 	centre := mesh.Vec3{X: 1, Y: 0, Z: 0}
-	base := mesh.MustNew(ne)
+	base, err := mesh.New(ne)
+	if err != nil {
+		return nil, err
+	}
 	forest, err := amr.NewForest(ne, 2, func(l amr.Leaf) bool {
 		// Refine cells whose base-element centre is inside a 25-degree cap.
 		s := 1 << l.Level

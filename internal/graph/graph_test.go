@@ -87,7 +87,7 @@ func TestVertexWeightsAndSizes(t *testing.T) {
 }
 
 func TestFromMeshStructure(t *testing.T) {
-	m := mesh.MustNew(4)
+	m := mustMesh(t, 4)
 	g, err := FromMesh(m, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -120,7 +120,7 @@ func TestFromMeshStructure(t *testing.T) {
 }
 
 func TestFromMeshWithoutCorners(t *testing.T) {
-	m := mesh.MustNew(4)
+	m := mustMesh(t, 4)
 	g, err := FromMesh(m, Options{EdgeWeight: 1, IncludeCorners: false})
 	if err != nil {
 		t.Fatal(err)
@@ -138,7 +138,7 @@ func TestFromMeshWithoutCorners(t *testing.T) {
 }
 
 func TestFromMeshCustomWeights(t *testing.T) {
-	m := mesh.MustNew(2)
+	m := mustMesh(t, 2)
 	k := m.NumElems()
 	vw := make([]int32, k)
 	vs := make([]int32, k)
@@ -156,7 +156,7 @@ func TestFromMeshCustomWeights(t *testing.T) {
 }
 
 func TestFromMeshRejectsBadWeights(t *testing.T) {
-	m := mesh.MustNew(2)
+	m := mustMesh(t, 2)
 	if _, err := FromMesh(m, Options{VertexWeights: []int32{1, 2}}); err == nil {
 		t.Error("short weight slice accepted")
 	}
@@ -178,7 +178,7 @@ func TestFromMeshRejectsBadWeights(t *testing.T) {
 func TestFromMeshAlwaysValidProperty(t *testing.T) {
 	f := func(rawNe uint8, corners bool, ew, cw uint8) bool {
 		ne := 1 + int(rawNe)%6
-		m := mesh.MustNew(ne)
+		m := mustMesh(t, ne)
 		g, err := FromMesh(m, Options{
 			EdgeWeight:     int32(ew%16) + 1,
 			CornerWeight:   int32(cw%4) + 1,
@@ -202,4 +202,14 @@ func TestEmptyGraph(t *testing.T) {
 	if err := g.Validate(); err != nil {
 		t.Error(err)
 	}
+}
+
+// mustMesh builds a cubed-sphere mesh or fails the test.
+func mustMesh(tb testing.TB, ne int) *mesh.Mesh {
+	tb.Helper()
+	m, err := mesh.New(ne)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
 }

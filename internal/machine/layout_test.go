@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"sfccube/internal/core"
-	"sfccube/internal/mesh"
 	"sfccube/internal/partition"
 )
 
@@ -100,7 +99,7 @@ func TestOverlapReducesStepTime(t *testing.T) {
 }
 
 func TestOverlapPartial(t *testing.T) {
-	m := mesh.MustNew(4)
+	m := mustMesh(t, 4)
 	k := m.NumElems()
 	p := partition.New(k, 2)
 	for e := 0; e < k; e++ {

@@ -27,7 +27,7 @@ func TestSEAMWorkloadScaling(t *testing.T) {
 }
 
 func TestSerialStepRate(t *testing.T) {
-	m := mesh.MustNew(8)
+	m := mustMesh(t, 8)
 	mod := NCARP690()
 	w := DefaultWorkload()
 	rep, err := SerialStep(m, w, mod, nil)
@@ -48,7 +48,7 @@ func TestSerialStepRate(t *testing.T) {
 }
 
 func TestSimulateStepErrors(t *testing.T) {
-	m := mesh.MustNew(2)
+	m := mustMesh(t, 2)
 	p := partition.New(5, 2)
 	if _, err := SimulateStep(m, p, DefaultWorkload(), NCARP690(), nil); err == nil {
 		t.Error("size mismatch accepted")
@@ -84,7 +84,7 @@ func TestPerfectPartitionBalancesCompute(t *testing.T) {
 // Imbalanced partitions must be slower than balanced ones on the same
 // problem: the core mechanism of the paper.
 func TestImbalancePenalty(t *testing.T) {
-	m := mesh.MustNew(8)
+	m := mustMesh(t, 8)
 	k := m.NumElems()
 	nproc := 96
 	balanced := partition.New(k, nproc)
@@ -116,7 +116,7 @@ func TestImbalancePenalty(t *testing.T) {
 
 // Weighted elements shift compute time accordingly.
 func TestWeightedElements(t *testing.T) {
-	m := mesh.MustNew(2)
+	m := mustMesh(t, 2)
 	k := m.NumElems()
 	p := partition.New(k, 2)
 	for e := k / 2; e < k; e++ {
@@ -138,7 +138,7 @@ func TestWeightedElements(t *testing.T) {
 
 // Messages within an SMP node must be cheaper than across nodes.
 func TestSMPLocality(t *testing.T) {
-	m := mesh.MustNew(4)
+	m := mustMesh(t, 4)
 	k := m.NumElems()
 	// Two processors: same node vs different nodes.
 	p := partition.New(k, 2)
@@ -159,7 +159,7 @@ func TestSMPLocality(t *testing.T) {
 // Speedup of a perfectly balanced compute-only workload approaches nproc
 // when communication is free.
 func TestSpeedupLimit(t *testing.T) {
-	m := mesh.MustNew(4)
+	m := mustMesh(t, 4)
 	mod := NCARP690()
 	mod.AlphaRemote, mod.BetaRemote, mod.AlphaLocal, mod.BetaLocal = 0, 0, 0, 0
 	mod.NodeAdapterBeta = 0
@@ -196,4 +196,14 @@ func TestCommAccounting(t *testing.T) {
 	if sum != rep.TotalCommBytes {
 		t.Errorf("comm bytes sum %d != total %d", sum, rep.TotalCommBytes)
 	}
+}
+
+// mustMesh builds a cubed-sphere mesh or fails the test.
+func mustMesh(tb testing.TB, ne int) *mesh.Mesh {
+	tb.Helper()
+	m, err := mesh.New(ne)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
 }

@@ -1,6 +1,9 @@
 package mesh
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // Vec3 is a point or direction in R^3.
 type Vec3 struct{ X, Y, Z float64 }
@@ -29,13 +32,15 @@ func (a Vec3) Cross(b Vec3) Vec3 {
 // Norm returns the Euclidean norm of a.
 func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
 
-// Normalize returns a / |a|. It panics on the zero vector.
-func (a Vec3) Normalize() Vec3 {
+// Normalize returns a / |a|, or an error for the zero vector (which has no
+// direction). Callers that can prove their vector is non-zero — e.g. points
+// on the cube surface, whose norm is at least 1 — may ignore the error.
+func (a Vec3) Normalize() (Vec3, error) {
 	n := a.Norm()
 	if n == 0 {
-		panic("mesh: normalize zero vector")
+		return Vec3{}, errors.New("mesh: cannot normalize the zero vector")
 	}
-	return a.Scale(1 / n)
+	return a.Scale(1 / n), nil
 }
 
 // frameVecs returns the floating-point frame of face f.
@@ -56,9 +61,11 @@ func CubePoint(f Face, x, y float64) Vec3 {
 
 // SpherePoint maps local face coordinates (x, y) in [-1, 1]^2 on face f to
 // the unit sphere via the gnomonic projection (central projection through the
-// sphere centre).
+// sphere centre). Points on the cube surface always have norm >= 1, so the
+// normalisation cannot fail.
 func SpherePoint(f Face, x, y float64) Vec3 {
-	return CubePoint(f, x, y).Normalize()
+	p := CubePoint(f, x, y)
+	return p.Scale(1 / p.Norm())
 }
 
 // EquiangularPoint maps equiangular coordinates (alpha, beta) in

@@ -86,16 +86,6 @@ func New(ne int) (*Mesh, error) {
 	return m, nil
 }
 
-// MustNew is New but panics on error; intended for tests and examples where
-// ne is a compile-time constant.
-func MustNew(ne int) *Mesh {
-	m, err := New(ne)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
 // Ne returns the number of elements along one edge of a cube face.
 func (m *Mesh) Ne() int { return m.ne }
 

@@ -19,7 +19,7 @@ func TestNumElems(t *testing.T) {
 		{1, 6}, {2, 24}, {8, 384}, {9, 486}, {16, 1536}, {18, 1944}, {24, 3456},
 	}
 	for _, c := range cases {
-		m := MustNew(c.ne)
+		m := mustMesh(t, c.ne)
 		if got := m.NumElems(); got != c.want {
 			t.Errorf("Ne=%d: NumElems=%d, want %d", c.ne, got, c.want)
 		}
@@ -27,7 +27,7 @@ func TestNumElems(t *testing.T) {
 }
 
 func TestIDElemRoundTrip(t *testing.T) {
-	m := MustNew(5)
+	m := mustMesh(t, 5)
 	for f := Face(0); f < NumFaces; f++ {
 		for j := 0; j < 5; j++ {
 			for i := 0; i < 5; i++ {
@@ -42,7 +42,7 @@ func TestIDElemRoundTrip(t *testing.T) {
 }
 
 func TestIDsAreDenseAndValid(t *testing.T) {
-	m := MustNew(4)
+	m := mustMesh(t, 4)
 	seen := make(map[ElemID]bool)
 	for f := Face(0); f < NumFaces; f++ {
 		for j := 0; j < 4; j++ {
@@ -71,7 +71,7 @@ func TestIDsAreDenseAndValid(t *testing.T) {
 // meeting at each of the 8 cube corners have only 3.
 func TestNeighborCounts(t *testing.T) {
 	for _, ne := range []int{1, 2, 3, 4, 8} {
-		m := MustNew(ne)
+		m := mustMesh(t, ne)
 		corner7 := 0
 		for e := 0; e < m.NumElems(); e++ {
 			id := ElemID(e)
@@ -107,7 +107,7 @@ func TestNeighborCounts(t *testing.T) {
 
 func TestNeighborSymmetry(t *testing.T) {
 	for _, ne := range []int{1, 2, 3, 5, 8} {
-		m := MustNew(ne)
+		m := mustMesh(t, ne)
 		contains := func(s []ElemID, x ElemID) bool {
 			for _, v := range s {
 				if v == x {
@@ -133,7 +133,7 @@ func TestNeighborSymmetry(t *testing.T) {
 }
 
 func TestNeighborsNeverSelfOrDup(t *testing.T) {
-	m := MustNew(6)
+	m := mustMesh(t, 6)
 	for e := 0; e < m.NumElems(); e++ {
 		id := ElemID(e)
 		seen := map[ElemID]bool{id: true}
@@ -148,7 +148,7 @@ func TestNeighborsNeverSelfOrDup(t *testing.T) {
 
 // Edge and corner neighbour sets must be disjoint.
 func TestEdgeCornerDisjoint(t *testing.T) {
-	m := MustNew(4)
+	m := mustMesh(t, 4)
 	for e := 0; e < m.NumElems(); e++ {
 		id := ElemID(e)
 		en := map[ElemID]bool{}
@@ -167,7 +167,7 @@ func TestEdgeCornerDisjoint(t *testing.T) {
 // obvious grid stencil.
 func TestInteriorNeighborsMatchGridStencil(t *testing.T) {
 	ne := 5
-	m := MustNew(ne)
+	m := mustMesh(t, ne)
 	f := FacePY
 	i, j := 2, 2 // interior element
 	id := m.ID(f, i, j)
@@ -203,7 +203,7 @@ func TestInteriorNeighborsMatchGridStencil(t *testing.T) {
 // centres of edge-adjacent elements is bounded by ~3 typical element widths.
 func TestEdgeNeighborsAreClose(t *testing.T) {
 	ne := 8
-	m := MustNew(ne)
+	m := mustMesh(t, ne)
 	maxAllowed := 3.0 * (math.Pi / 2) / float64(ne)
 	for e := 0; e < m.NumElems(); e++ {
 		id := ElemID(e)
@@ -253,7 +253,7 @@ func TestFaceFramesRightHanded(t *testing.T) {
 
 func TestAreasSumToSphere(t *testing.T) {
 	for _, ne := range []int{1, 2, 4, 8} {
-		m := MustNew(ne)
+		m := mustMesh(t, ne)
 		sum := 0.0
 		minA, maxA := math.Inf(1), math.Inf(-1)
 		for e := 0; e < m.NumElems(); e++ {
@@ -276,7 +276,7 @@ func TestAreasSumToSphere(t *testing.T) {
 }
 
 func TestElemCornersOutwardCCW(t *testing.T) {
-	m := MustNew(4)
+	m := mustMesh(t, 4)
 	for e := 0; e < m.NumElems(); e++ {
 		c := m.ElemCorners(ElemID(e))
 		// The normal of the corner quad should point outward (positive dot
@@ -325,13 +325,17 @@ func TestVec3Ops(t *testing.T) {
 	}
 }
 
-func TestNormalizePanicsOnZero(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Normalize(0) did not panic")
-		}
-	}()
-	Vec3{}.Normalize()
+func TestNormalizeZeroVectorError(t *testing.T) {
+	if _, err := (Vec3{}).Normalize(); err == nil {
+		t.Error("Normalize(0) did not return an error")
+	}
+	got, err := (Vec3{X: 0, Y: 3, Z: 4}).Normalize()
+	if err != nil {
+		t.Fatalf("Normalize(0,3,4): %v", err)
+	}
+	if want := (Vec3{X: 0, Y: 0.6, Z: 0.8}); math.Abs(got.X-want.X)+math.Abs(got.Y-want.Y)+math.Abs(got.Z-want.Z) > 1e-15 {
+		t.Errorf("Normalize(0,3,4) = %v, want %v", got, want)
+	}
 }
 
 // Property: cross product is orthogonal to both inputs.
@@ -357,7 +361,7 @@ func clamp(x float64) float64 {
 
 // Property: ID/Elem round-trips for random valid ids.
 func TestIDRoundTripProperty(t *testing.T) {
-	m := MustNew(7)
+	m := mustMesh(t, 7)
 	f := func(raw uint32) bool {
 		id := ElemID(int(raw) % m.NumElems())
 		el := m.Elem(id)
@@ -371,7 +375,7 @@ func TestIDRoundTripProperty(t *testing.T) {
 // Property: every pair of edge-adjacent elements shares exactly two corner
 // nodes, and corner-adjacent pairs share exactly one.
 func TestSharedNodeCountsProperty(t *testing.T) {
-	m := MustNew(6)
+	m := mustMesh(t, 6)
 	sharedNodes := func(a, b ElemID) int {
 		ea, eb := m.Elem(a), m.Elem(b)
 		na := map[nodeKey]bool{}
@@ -408,4 +412,14 @@ func TestFaceString(t *testing.T) {
 	if Face(9).String() != "Face(9)" {
 		t.Errorf("Face(9).String() = %q", Face(9).String())
 	}
+}
+
+// mustMesh builds a cubed-sphere mesh or fails the test.
+func mustMesh(tb testing.TB, ne int) *Mesh {
+	tb.Helper()
+	m, err := New(ne)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
 }

@@ -11,7 +11,7 @@ import (
 
 func meshGraph(t testing.TB, ne int) *graph.Graph {
 	t.Helper()
-	g, err := graph.FromMesh(mesh.MustNew(ne), graph.DefaultOptions())
+	g, err := graph.FromMesh(mustMesh(t, ne), graph.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,4 +387,14 @@ func BenchmarkKWayK384P96(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// mustMesh builds a cubed-sphere mesh or fails the test.
+func mustMesh(tb testing.TB, ne int) *mesh.Mesh {
+	tb.Helper()
+	m, err := mesh.New(ne)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
 }

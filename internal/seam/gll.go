@@ -46,15 +46,6 @@ func NewGLL(n int) (*GLL, error) {
 	return g, nil
 }
 
-// MustNewGLL is NewGLL but panics on error.
-func MustNewGLL(n int) *GLL {
-	g, err := NewGLL(n)
-	if err != nil {
-		panic(err)
-	}
-	return g
-}
-
 // Np returns the number of points, N+1.
 func (g *GLL) Np() int { return g.N + 1 }
 

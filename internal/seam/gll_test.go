@@ -16,7 +16,7 @@ func TestNewGLLRejectsBadDegree(t *testing.T) {
 
 func TestGLLKnownNodes(t *testing.T) {
 	// Degree 1: {-1, 1}, weights {1, 1}.
-	g := MustNewGLL(1)
+	g := mustGLL(t, 1)
 	if g.Points[0] != -1 || g.Points[1] != 1 {
 		t.Errorf("degree 1 nodes: %v", g.Points)
 	}
@@ -24,7 +24,7 @@ func TestGLLKnownNodes(t *testing.T) {
 		t.Errorf("degree 1 weights: %v", g.Wts)
 	}
 	// Degree 2: {-1, 0, 1}, weights {1/3, 4/3, 1/3}.
-	g = MustNewGLL(2)
+	g = mustGLL(t, 2)
 	if math.Abs(g.Points[1]) > 1e-14 {
 		t.Errorf("degree 2 middle node: %v", g.Points[1])
 	}
@@ -35,7 +35,7 @@ func TestGLLKnownNodes(t *testing.T) {
 		}
 	}
 	// Degree 3: interior nodes at +-1/sqrt(5), weights {1/6, 5/6, 5/6, 1/6}.
-	g = MustNewGLL(3)
+	g = mustGLL(t, 3)
 	if math.Abs(g.Points[1]+1/math.Sqrt(5)) > 1e-13 {
 		t.Errorf("degree 3 node: %v", g.Points[1])
 	}
@@ -46,7 +46,7 @@ func TestGLLKnownNodes(t *testing.T) {
 
 func TestGLLNodesSortedSymmetric(t *testing.T) {
 	for n := 1; n <= 16; n++ {
-		g := MustNewGLL(n)
+		g := mustGLL(t, n)
 		if g.Np() != n+1 {
 			t.Fatalf("Np = %d", g.Np())
 		}
@@ -69,7 +69,7 @@ func TestGLLNodesSortedSymmetric(t *testing.T) {
 // GLL quadrature with N+1 points is exact for polynomials of degree 2N-1.
 func TestGLLQuadratureExactness(t *testing.T) {
 	for n := 2; n <= 12; n++ {
-		g := MustNewGLL(n)
+		g := mustGLL(t, n)
 		for deg := 0; deg <= 2*n-1; deg++ {
 			u := make([]float64, g.Np())
 			for i, x := range g.Points {
@@ -90,7 +90,7 @@ func TestGLLQuadratureExactness(t *testing.T) {
 // Weights must sum to the measure of [-1, 1].
 func TestGLLWeightsSum(t *testing.T) {
 	for n := 1; n <= 16; n++ {
-		g := MustNewGLL(n)
+		g := mustGLL(t, n)
 		sum := 0.0
 		for _, w := range g.Wts {
 			if w <= 0 {
@@ -107,7 +107,7 @@ func TestGLLWeightsSum(t *testing.T) {
 // The differentiation matrix is exact for polynomials of degree <= N.
 func TestGLLDerivativeExactness(t *testing.T) {
 	for n := 1; n <= 12; n++ {
-		g := MustNewGLL(n)
+		g := mustGLL(t, n)
 		np := g.Np()
 		u := make([]float64, np)
 		du := make([]float64, np)
@@ -132,7 +132,7 @@ func TestGLLDerivativeExactness(t *testing.T) {
 
 // Rows of D sum to zero (derivative of a constant is zero).
 func TestGLLDRowSums(t *testing.T) {
-	g := MustNewGLL(8)
+	g := mustGLL(t, 8)
 	np := g.Np()
 	for i := 0; i < np; i++ {
 		var s float64
@@ -147,7 +147,7 @@ func TestGLLDRowSums(t *testing.T) {
 
 // Summation-by-parts: W*D + D^T*W = B where B = diag(-1, 0, ..., 0, 1).
 func TestGLLSummationByParts(t *testing.T) {
-	g := MustNewGLL(7)
+	g := mustGLL(t, 7)
 	np := g.Np()
 	for i := 0; i < np; i++ {
 		for j := 0; j < np; j++ {
@@ -174,4 +174,14 @@ func TestLegendreEndpointDerivative(t *testing.T) {
 			t.Errorf("P'_%d(1) = %v, want %v", n, dp, want)
 		}
 	}
+}
+
+// mustGLL builds a GLL rule or fails the test.
+func mustGLL(tb testing.TB, n int) *GLL {
+	tb.Helper()
+	g, err := NewGLL(n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
 }

@@ -213,14 +213,19 @@ func (g *Grid) buildMass() {
 
 // SetRotationAxis re-evaluates the Coriolis parameter for a planet rotating
 // about the given axis: f = 2*Omega*(p.axis)/Radius. The default axis is +Z;
-// the rotated Williamson test cases tilt it together with the flow.
-func (g *Grid) SetRotationAxis(axis mesh.Vec3) {
-	n := axis.Normalize()
+// the rotated Williamson test cases tilt it together with the flow. The axis
+// is normalised first; a zero axis is an error and leaves the grid unchanged.
+func (g *Grid) SetRotationAxis(axis mesh.Vec3) error {
+	n, err := axis.Normalize()
+	if err != nil {
+		return fmt.Errorf("seam: rotation axis: %w", err)
+	}
 	for e := 0; e < g.NumElems(); e++ {
 		for i := 0; i < g.PointsPerElem(); i++ {
 			g.Cor[e][i] = 2 * g.Omega * g.Pos[e][i].Dot(n) / g.Radius
 		}
 	}
+	return nil
 }
 
 // Field allocates a scalar field on the grid: one value per GLL point per

@@ -1,10 +1,6 @@
 package sfc
 
-import (
-	"testing"
-
-	"sfccube/internal/mesh"
-)
+import "testing"
 
 func TestSerpentineBijectiveContinuous(t *testing.T) {
 	for _, p := range []int{1, 2, 3, 5, 8, 9, 16} {
@@ -96,7 +92,7 @@ func TestMortonQuadrantLocality(t *testing.T) {
 
 func TestCubeCurveFromSerpentine(t *testing.T) {
 	for _, ne := range []int{2, 3, 4, 8, 9} {
-		m := mesh.MustNew(ne)
+		m := mustMesh(t, ne)
 		cc, err := NewCubeCurveFromBase(m, GenerateSerpentine(ne), "serpentine")
 		if err != nil {
 			t.Fatalf("ne=%d: %v", ne, err)
@@ -145,7 +141,7 @@ func countBreaks(cc *CubeCurve) int {
 }
 
 func TestCubeCurveFromMorton(t *testing.T) {
-	m := mesh.MustNew(8)
+	m := mustMesh(t, 8)
 	cc, err := NewCubeCurveFromBase(m, GenerateMorton(3), "morton")
 	if err != nil {
 		t.Fatal(err)
@@ -164,7 +160,7 @@ func TestCubeCurveFromMorton(t *testing.T) {
 }
 
 func TestCubeCurveFromBaseSizeMismatch(t *testing.T) {
-	m := mesh.MustNew(4)
+	m := mustMesh(t, 4)
 	if _, err := NewCubeCurveFromBase(m, GenerateSerpentine(5), "x"); err == nil {
 		t.Error("size mismatch accepted")
 	}

@@ -8,7 +8,7 @@ import (
 
 func cubeInvariants(t *testing.T, ne int, order Order) *CubeCurve {
 	t.Helper()
-	m := mesh.MustNew(ne)
+	m := mustMesh(t, ne)
 	s, err := ScheduleFor(ne, order)
 	if err != nil {
 		t.Fatalf("ScheduleFor(%d): %v", ne, err)
@@ -68,14 +68,14 @@ func TestCubeCurveVisitsFacesInPathOrder(t *testing.T) {
 }
 
 func TestCubeCurveSizeMismatch(t *testing.T) {
-	m := mesh.MustNew(4)
+	m := mustMesh(t, 4)
 	if _, err := NewCubeCurve(m, Schedule{Hilbert}); err == nil {
 		t.Error("want error for schedule side 2 on Ne=4 mesh")
 	}
 }
 
 func TestCubeCurveDeterministic(t *testing.T) {
-	m := mesh.MustNew(6)
+	m := mustMesh(t, 6)
 	s, _ := ScheduleFor(6, PeanoFirst)
 	a, _ := NewCubeCurve(m, s)
 	b, _ := NewCubeCurve(m, s)
@@ -120,7 +120,7 @@ func TestCurveSegmentsAreConnected(t *testing.T) {
 }
 
 func BenchmarkCubeCurveNe16(b *testing.B) {
-	m := mesh.MustNew(16)
+	m := mustMesh(b, 16)
 	s, _ := ScheduleFor(16, PeanoFirst)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -128,4 +128,14 @@ func BenchmarkCubeCurveNe16(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// mustMesh builds a cubed-sphere mesh or fails the test.
+func mustMesh(tb testing.TB, ne int) *mesh.Mesh {
+	tb.Helper()
+	m, err := mesh.New(ne)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
 }
