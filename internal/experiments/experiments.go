@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"sfccube/internal/core"
 	"sfccube/internal/graph"
@@ -115,27 +117,49 @@ func Table2(seed int64) (*Table, error) {
 		edgecut    int64
 		timeMicros float64
 	}
+	// The four columns are independent partitioning runs; evaluate them in
+	// parallel (each method's partitioner carries its own seed-derived RNG
+	// state, so the results match the serial order exactly).
+	colVals := make([]col, len(order))
+	errs := make([]error, len(order))
+	var wg sync.WaitGroup
+	for i, method := range order {
+		wg.Add(1)
+		go func(i int, method string) {
+			defer wg.Done()
+			p, err := partitionWith(method, s.Mesh, s.Graph, nproc, seed)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			st, err := partition.ComputeStats(s.Graph, p)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rep, err := machine.SimulateStep(s.Mesh, p, s.Workload, s.Model, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			colVals[i] = col{
+				lbN:        st.LBNelemd,
+				lbS:        st.LBSpcv,
+				tcvMB:      float64(rep.TotalCommBytes) / 1e6,
+				edgecut:    st.EdgeCutUnweighted,
+				timeMicros: rep.StepTime * 1e6,
+			}
+		}(i, method)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	cols := map[string]col{}
-	for _, method := range order {
-		p, err := partitionWith(method, s.Mesh, s.Graph, nproc, seed)
-		if err != nil {
-			return nil, err
-		}
-		st, err := partition.ComputeStats(s.Graph, p)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := machine.SimulateStep(s.Mesh, p, s.Workload, s.Model, nil)
-		if err != nil {
-			return nil, err
-		}
-		cols[method] = col{
-			lbN:        st.LBNelemd,
-			lbS:        st.LBSpcv,
-			tcvMB:      float64(rep.TotalCommBytes) / 1e6,
-			edgecut:    st.EdgeCutUnweighted,
-			timeMicros: rep.StepTime * 1e6,
-		}
+	for i, method := range order {
+		cols[method] = colVals[i]
 	}
 	row := func(name string, f func(c col) string) {
 		r := []string{name}
@@ -175,33 +199,63 @@ func sweep(ne, maxProc int, seed int64, pick func(machine.StepReport, machine.St
 	return sweepProcs(ne, procSweep(ne, maxProc), seed, pick)
 }
 
-// sweepProcs is sweep over an explicit processor-count list.
+// sweepProcs is sweep over an explicit processor-count list. Every
+// (method, nproc) cell of the matrix is independent — each runs its own
+// partitioner with a seed passed explicitly — so the cells are evaluated on a
+// bounded pool of goroutines and written to a preallocated results matrix.
+// The output ordering (and, because metis.Partition is deterministic for a
+// fixed seed, every value) is identical to the former serial double loop.
 func sweepProcs(ne int, procs []int, seed int64, pick func(machine.StepReport, machine.StepReport) float64) (*Figure, error) {
 	s, err := NewSetup(ne)
 	if err != nil {
 		return nil, err
 	}
-	fig := &Figure{}
-	for _, method := range methodNames {
-		line := Line{Label: method}
-		for _, np := range procs {
-			var rep machine.StepReport
-			if np == 1 {
-				rep = s.Serial
-			} else {
-				p, err := partitionWith(method, s.Mesh, s.Graph, np, seed)
+	type cell struct {
+		method string
+		np     int
+		y      *float64
+	}
+	fig := &Figure{Lines: make([]Line, len(methodNames))}
+	var cells []cell
+	for mi, method := range methodNames {
+		line := Line{Label: method, X: make([]float64, len(procs)), Y: make([]float64, len(procs))}
+		for pi, np := range procs {
+			line.X[pi] = float64(np)
+			cells = append(cells, cell{method: method, np: np, y: &line.Y[pi]})
+		}
+		fig.Lines[mi] = line
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, c := range cells {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(c cell) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rep := s.Serial
+			if c.np != 1 {
+				p, err := partitionWith(c.method, s.Mesh, s.Graph, c.np, seed)
 				if err != nil {
-					return nil, err
+					errOnce.Do(func() { firstErr = err })
+					return
 				}
 				rep, err = machine.SimulateStep(s.Mesh, p, s.Workload, s.Model, nil)
 				if err != nil {
-					return nil, err
+					errOnce.Do(func() { firstErr = err })
+					return
 				}
 			}
-			line.X = append(line.X, float64(np))
-			line.Y = append(line.Y, pick(s.Serial, rep))
-		}
-		fig.Lines = append(fig.Lines, line)
+			*c.y = pick(s.Serial, rep)
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return fig, nil
 }

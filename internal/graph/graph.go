@@ -30,11 +30,22 @@ type Graph struct {
 }
 
 // Builder accumulates edges before freezing them into CSR form.
+//
+// Edges are recorded in an append-only half-edge list (both directions of
+// every undirected edge) and deduplicated by a counting-sort bucket pass plus
+// a per-row sort/merge in Build. This keeps AddEdge allocation-free after
+// the first few appends and makes Build O(E log deg) with two contiguous
+// passes, instead of the former per-vertex hash maps whose construction
+// dominated graph building at production mesh sizes.
 type Builder struct {
 	n     int
 	vwgt  []int32
 	vsize []int32
-	adj   []map[int32]int32 // adj[u][v] = weight
+	// Half-edge list: the i-th recorded half edge is eu[i] -> ev[i] with
+	// weight ew[i]. AddEdge appends both directions so Build can bucket by
+	// source vertex alone.
+	eu, ev []int32
+	ew     []int32
 }
 
 // NewBuilder creates a builder for a graph with n vertices, all with unit
@@ -44,7 +55,6 @@ func NewBuilder(n int) *Builder {
 		n:     n,
 		vwgt:  make([]int32, n),
 		vsize: make([]int32, n),
-		adj:   make([]map[int32]int32, n),
 	}
 	for i := range b.vwgt {
 		b.vwgt[i] = 1
@@ -68,41 +78,76 @@ func (b *Builder) AddEdge(u, v int, w int32) error {
 	if u < 0 || u >= b.n || v < 0 || v >= b.n {
 		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
 	}
-	for _, pair := range [2][2]int{{u, v}, {v, u}} {
-		if b.adj[pair[0]] == nil {
-			b.adj[pair[0]] = make(map[int32]int32, 8)
-		}
-		b.adj[pair[0]][int32(pair[1])] += w
-	}
+	b.eu = append(b.eu, int32(u), int32(v))
+	b.ev = append(b.ev, int32(v), int32(u))
+	b.ew = append(b.ew, w, w)
 	return nil
 }
 
 // Build freezes the builder into a CSR graph with sorted adjacency lists.
+// Duplicate recordings of the same undirected edge are merged with their
+// weights accumulated, matching AddEdge's documented semantics.
 func (b *Builder) Build() *Graph {
 	g := &Graph{
 		xadj:  make([]int32, b.n+1),
 		vwgt:  append([]int32(nil), b.vwgt...),
 		vsize: append([]int32(nil), b.vsize...),
 	}
-	total := 0
-	for _, m := range b.adj {
-		total += len(m)
+	// Pass 1: counting sort of the half edges by source vertex.
+	cnt := make([]int32, b.n+1)
+	for _, u := range b.eu {
+		cnt[u+1]++
 	}
-	g.adjncy = make([]int32, 0, total)
-	g.adjwgt = make([]int32, 0, total)
+	for i := 0; i < b.n; i++ {
+		cnt[i+1] += cnt[i]
+	}
+	pos := append([]int32(nil), cnt...) // next write offset per row
+	adj := make([]int32, len(b.eu))
+	wgt := make([]int32, len(b.eu))
+	for i, u := range b.eu {
+		p := pos[u]
+		adj[p] = b.ev[i]
+		wgt[p] = b.ew[i]
+		pos[u] = p + 1
+	}
+	// Pass 2: per-row sort by neighbour, then in-place merge of duplicates
+	// accumulating weights. Rows shrink, so the merged graph is compacted
+	// into the front of adj/wgt.
+	out := int32(0)
 	for u := 0; u < b.n; u++ {
-		nbrs := make([]int32, 0, len(b.adj[u]))
-		for v := range b.adj[u] {
-			nbrs = append(nbrs, v)
+		lo, hi := cnt[u], cnt[u+1]
+		row := adj[lo:hi]
+		rw := wgt[lo:hi]
+		sort.Sort(&rowSorter{row, rw})
+		for i := 0; i < len(row); i++ {
+			if out > 0 && int32(out) > g.xadj[u] && adj[out-1] == row[i] {
+				// Same neighbour as the previous kept entry of this row:
+				// accumulate the weight (duplicate AddEdge).
+				wgt[out-1] += rw[i]
+				continue
+			}
+			adj[out] = row[i]
+			wgt[out] = rw[i]
+			out++
 		}
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
-		for _, v := range nbrs {
-			g.adjncy = append(g.adjncy, v)
-			g.adjwgt = append(g.adjwgt, b.adj[u][v])
-		}
-		g.xadj[u+1] = int32(len(g.adjncy))
+		g.xadj[u+1] = out
 	}
+	g.adjncy = adj[:out:out]
+	g.adjwgt = wgt[:out:out]
 	return g
+}
+
+// rowSorter sorts one adjacency row by neighbour id, carrying weights along.
+type rowSorter struct {
+	adj []int32
+	wgt []int32
+}
+
+func (r *rowSorter) Len() int           { return len(r.adj) }
+func (r *rowSorter) Less(i, j int) bool { return r.adj[i] < r.adj[j] }
+func (r *rowSorter) Swap(i, j int) {
+	r.adj[i], r.adj[j] = r.adj[j], r.adj[i]
+	r.wgt[i], r.wgt[j] = r.wgt[j], r.wgt[i]
 }
 
 // NumVertices returns the number of vertices.

@@ -56,6 +56,57 @@ func TestBuilderAccumulatesParallelEdges(t *testing.T) {
 	}
 }
 
+// TestBuilderDuplicateHeavy hammers the sort/merge Build path: every edge of
+// a small dense graph is recorded many times, in both orientations, with
+// varying weights. The frozen CSR must contain each undirected edge exactly
+// once with the accumulated weight, and still pass Validate.
+func TestBuilderDuplicateHeavy(t *testing.T) {
+	const n = 9
+	b := NewBuilder(n)
+	want := make(map[[2]int]int32)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			reps := 1 + (u*7+v*3)%5
+			for r := 0; r < reps; r++ {
+				w := int32(1 + (u+v+r)%4)
+				// Alternate orientation to exercise both append directions.
+				if r%2 == 0 {
+					if err := b.AddEdge(u, v, w); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					if err := b.AddEdge(v, u, w); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want[[2]int{u, v}] += w
+			}
+		}
+	}
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != n*(n-1)/2 {
+		t.Fatalf("edges = %d, want %d (duplicates not merged)", g.NumEdges(), n*(n-1)/2)
+	}
+	for k, w := range want {
+		if got := g.EdgeWeightBetween(k[0], k[1]); got != w {
+			t.Errorf("edge (%d,%d) weight %d, want accumulated %d", k[0], k[1], got, w)
+		}
+		if got := g.EdgeWeightBetween(k[1], k[0]); got != w {
+			t.Errorf("edge (%d,%d) reverse weight %d, want %d", k[1], k[0], got, w)
+		}
+	}
+	// Every vertex sees all n-1 neighbours exactly once, in sorted order
+	// (Validate already asserts strict sorting; check the degree here).
+	for v := 0; v < n; v++ {
+		if g.Degree(v) != n-1 {
+			t.Errorf("vertex %d degree %d, want %d", v, g.Degree(v), n-1)
+		}
+	}
+}
+
 func TestBuilderRejectsBadEdges(t *testing.T) {
 	b := NewBuilder(3)
 	if err := b.AddEdge(1, 1, 1); err == nil {

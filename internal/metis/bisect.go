@@ -1,57 +1,78 @@
 package metis
 
-import "math/rand"
+import (
+	"runtime"
+	"sync"
+)
 
 // bisect computes a 2-way split of g with target weight tw0 for side 0,
 // using the full multilevel scheme: coarsen, greedy-graph-growing initial
 // bisection, then FM refinement during uncoarsening. It returns the side
-// (0 or 1) of every vertex.
-func bisect(g *wgraph, tw0, band float64, rng *rand.Rand, opt Options) []int8 {
-	levels, coarsest := coarsen(g, opt.CoarsenTo, rng)
-	side := initialBisection(coarsest, tw0, band, rng, opt)
-	fmRefine(coarsest, side, tw0, band, opt.RefineIters)
-	// Project back through the hierarchy, refining at every level.
+// (0 or 1) of every vertex in a workspace-owned buffer; the caller releases
+// it with ws.putSide once the subgraphs are built.
+func bisect(g *wgraph, tw0, band float64, rng *prng, opt Options, ws *workspace) []int8 {
+	levels, coarsest := coarsen(g, opt.CoarsenTo, rng, ws)
+	side := initialBisection(coarsest, tw0, band, rng, opt, ws)
+	fmRefine(coarsest, side, tw0, band, opt.RefineIters, ws)
+	// Project back through the hierarchy, refining at every level. The side
+	// buffers ping-pong through the workspace free list instead of
+	// allocating one per level.
 	for i := len(levels) - 1; i >= 0; i-- {
 		lv := levels[i]
-		fineSide := make([]int8, lv.fine.n())
+		fineSide := ws.side(lv.fine.n())
 		for v := range fineSide {
 			fineSide[v] = side[lv.cmap[v]]
 		}
+		ws.putSide(side)
 		side = fineSide
-		fmRefine(lv.fine, side, tw0, band, opt.RefineIters)
+		fmRefine(lv.fine, side, tw0, band, opt.RefineIters, ws)
 	}
 	return side
 }
 
 // initialBisection runs several greedy-graph-growing attempts from random
 // seeds and keeps the one with the smallest cut after balancing.
-func initialBisection(g *wgraph, tw0, band float64, rng *rand.Rand, opt Options) []int8 {
+func initialBisection(g *wgraph, tw0, band float64, rng *prng, opt Options, ws *workspace) []int8 {
 	n := g.n()
+	best := ws.side(n)
 	if n == 1 {
-		return []int8{0}
+		best[0] = 0
+		return best
 	}
-	var best []int8
+	trial := ws.side(n)
 	var bestCut int64 = -1
+	// A graph with n vertices has at most n distinct growth seeds, so extra
+	// trials beyond that only repeat work on the tiny leaf graphs of a deep
+	// recursive-bisection tree.
 	trials := opt.InitTrials
+	if trials > n {
+		trials = n
+	}
+	// Each trial gets a short refinement — just enough to rank candidate
+	// bisections fairly; the winner receives the full refinement budget in
+	// bisect's uncoarsening sweep, so depth here buys nothing.
+	iters := opt.RefineIters
+	if iters > 2 {
+		iters = 2
+	}
 	for t := 0; t < trials; t++ {
-		side := growRegion(g, tw0, rng)
-		fmRefine(g, side, tw0, band, opt.RefineIters)
-		cut := cutOf(g, side)
+		growRegion(g, tw0, rng, ws, trial)
+		cut := fmRefine(g, trial, tw0, band, iters, ws)
 		if bestCut < 0 || cut < bestCut {
 			bestCut = cut
-			best = append([]int8(nil), side...)
+			copy(best, trial)
 		}
 	}
+	ws.putSide(trial)
 	return best
 }
 
 // growRegion grows side 0 from a random seed vertex, always absorbing the
 // frontier vertex with the highest gain (external minus internal degree,
 // i.e. the vertex whose absorption reduces the future cut the most), until
-// side 0 reaches the target weight.
-func growRegion(g *wgraph, tw0 float64, rng *rand.Rand) []int8 {
+// side 0 reaches the target weight. The result is written into side.
+func growRegion(g *wgraph, tw0 float64, rng *prng, ws *workspace, side []int8) {
 	n := g.n()
-	side := make([]int8, n)
 	for i := range side {
 		side[i] = 1
 	}
@@ -60,9 +81,15 @@ func growRegion(g *wgraph, tw0 float64, rng *rand.Rand) []int8 {
 
 	// gain[v] = (weight to side 0) - (weight to side 1) for frontier
 	// vertices; grown vertices are marked in side.
-	inFrontier := make([]bool, n)
-	gain := make([]int64, n)
-	frontier := make([]int32, 0, 64)
+	inFrontier := growBool(ws.inFrontier, n)
+	ws.inFrontier = inFrontier
+	for i := range inFrontier {
+		inFrontier[i] = false
+	}
+	gain := growI64(ws.gain, n)
+	ws.gain = gain
+	frontier := ws.frontier[:0]
+	defer func() { ws.frontier = frontier[:0] }()
 
 	absorb := func(v int32) {
 		side[v] = 0
@@ -116,31 +143,41 @@ func growRegion(g *wgraph, tw0 float64, rng *rand.Rand) []int8 {
 		inFrontier[v] = false
 		absorb(v)
 	}
-	return side
 }
 
 // subgraph extracts the induced subgraph of g on the vertices with the given
 // side value. It returns the subgraph and the list mapping subgraph vertex
-// ids back to g's vertex ids.
-func subgraph(g *wgraph, side []int8, want int8) (*wgraph, []int32) {
+// ids back to g's vertex ids. The id-translation scratch comes from the
+// workspace; the subgraph itself is allocated exactly (one sizing prepass)
+// because it outlives this call as a recursion operand.
+func subgraph(g *wgraph, side []int8, want int8, ws *workspace) (*wgraph, []int32) {
 	n := g.n()
-	newID := make([]int32, n)
-	for i := range newID {
-		newID[i] = -1
-	}
-	var verts []int32
+	newID := growI32(ws.newID, n)
+	ws.newID = newID
+	nv, deg := 0, 0
 	for v := int32(0); v < int32(n); v++ {
 		if side[v] == want {
-			newID[v] = int32(len(verts))
-			verts = append(verts, v)
+			newID[v] = int32(nv)
+			nv++
+			deg += int(g.xadj[v+1] - g.xadj[v])
+		} else {
+			newID[v] = -1
 		}
 	}
+	verts := make([]int32, 0, nv)
 	sub := &wgraph{
-		xadj:  make([]int32, len(verts)+1),
-		vwgt:  make([]int32, len(verts)),
-		vsize: make([]int32, len(verts)),
+		xadj:  make([]int32, nv+1),
+		vwgt:  make([]int32, nv),
+		vsize: make([]int32, nv),
+		adj:   make([]int32, 0, deg),
+		ewgt:  make([]int32, 0, deg),
 	}
-	for i, v := range verts {
+	for v := int32(0); v < int32(n); v++ {
+		if side[v] != want {
+			continue
+		}
+		i := len(verts)
+		verts = append(verts, v)
 		sub.vwgt[i] = g.vwgt[v]
 		sub.vsize[i] = g.vsize[v]
 		adj, wgt := g.deg(v)
@@ -155,27 +192,63 @@ func subgraph(g *wgraph, side []int8, want int8) (*wgraph, []int32) {
 	return sub, verts
 }
 
-// recurseOn performs multilevel recursive bisection: it assigns parts
-// [firstPart, firstPart+nparts) to the vertices of g, whose original graph
-// ids are given by origVerts, writing the result into assign (indexed by
-// original ids).
-func recurseOn(g *wgraph, origVerts []int32, firstPart, nparts int, assign []int32, rng *rand.Rand, opt Options) {
+// rbCtx carries the shared state of one parallel recursive-bisection run:
+// the output assignment (subtrees write disjoint index ranges), the options,
+// and a semaphore bounding the extra worker goroutines.
+type rbCtx struct {
+	assign []int32
+	opt    Options
+	sem    chan struct{}
+	wg     sync.WaitGroup
+}
+
+// maxRBWorkers is the number of extra goroutines a recursive bisection may
+// fan out on top of the calling goroutine.
+func maxRBWorkers() int {
+	w := runtime.GOMAXPROCS(0) - 1
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// runRB performs multilevel recursive bisection of g (whose original vertex
+// ids are verts) into nparts parts starting at firstPart, writing into
+// assign. The two subtrees after each bisection are independent, so they are
+// fanned out on goroutines up to maxRBWorkers; every subtree draws from its
+// own RNG stream derived deterministically from the seed and the subtree's
+// position in the bisection tree, which makes the result bit-identical
+// regardless of GOMAXPROCS or scheduling.
+func runRB(g *wgraph, verts []int32, firstPart, nparts int, assign []int32, seed uint64, opt Options) {
+	c := &rbCtx{assign: assign, opt: opt, sem: make(chan struct{}, maxRBWorkers())}
+	ws := getWS()
+	c.recurse(g, verts, firstPart, nparts, splitmix64(seed), ws)
+	putWS(ws)
+	c.wg.Wait()
+}
+
+// recurse assigns parts [firstPart, firstPart+nparts) to the vertices of g,
+// whose original graph ids are given by origVerts, writing the result into
+// c.assign (indexed by original ids).
+func (c *rbCtx) recurse(g *wgraph, origVerts []int32, firstPart, nparts int, seed uint64, ws *workspace) {
 	if nparts == 1 {
 		for _, v := range origVerts {
-			assign[v] = int32(firstPart)
+			c.assign[v] = int32(firstPart)
 		}
 		return
 	}
+	rng := newPRNG(seed)
 	nLeft := (nparts + 1) / 2
 	nRight := nparts - nLeft
 	total := g.totalVWgt()
 	tw0 := float64(total) * float64(nLeft) / float64(nparts)
 	// The METIS-style UBfactor band: each bisection may trade this much
 	// imbalance for cut quality; the drift compounds down the tree.
-	band := opt.RBImbalance * float64(total)
-	side := bisect(g, tw0, band, rng, opt)
-	left, leftVerts := subgraph(g, side, 0)
-	right, rightVerts := subgraph(g, side, 1)
+	band := c.opt.RBImbalance * float64(total)
+	side := bisect(g, tw0, band, rng, c.opt, ws)
+	left, leftVerts := subgraph(g, side, 0, ws)
+	right, rightVerts := subgraph(g, side, 1, ws)
+	ws.putSide(side)
 	leftOrig := make([]int32, len(leftVerts))
 	for i, lv := range leftVerts {
 		leftOrig[i] = origVerts[lv]
@@ -186,10 +259,27 @@ func recurseOn(g *wgraph, origVerts []int32, firstPart, nparts int, assign []int
 	}
 	if len(leftOrig) < nLeft || len(rightOrig) < nRight {
 		for i, v := range origVerts {
-			assign[v] = int32(firstPart + i*nparts/len(origVerts))
+			c.assign[v] = int32(firstPart + i*nparts/len(origVerts))
 		}
 		return
 	}
-	recurseOn(left, leftOrig, firstPart, nLeft, assign, rng, opt)
-	recurseOn(right, rightOrig, firstPart+nLeft, nRight, assign, rng, opt)
+	leftSeed, rightSeed := childSeed(seed, 0), childSeed(seed, 1)
+	// Fan the left subtree out to a worker when a slot is free; otherwise
+	// recurse inline. Workers never block on the semaphore, so the recursion
+	// cannot deadlock, and the derived seeds make the outcome identical
+	// either way.
+	select {
+	case c.sem <- struct{}{}:
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			wsL := getWS()
+			c.recurse(left, leftOrig, firstPart, nLeft, leftSeed, wsL)
+			putWS(wsL)
+			<-c.sem
+		}()
+	default:
+		c.recurse(left, leftOrig, firstPart, nLeft, leftSeed, ws)
+	}
+	c.recurse(right, rightOrig, firstPart+nLeft, nRight, rightSeed, ws)
 }

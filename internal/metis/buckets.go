@@ -1,0 +1,133 @@
+package metis
+
+// gainBuckets is the classic Fiduccia-Mattheyses bucket-list priority
+// structure: one array of doubly-linked vertex lists per side, indexed by
+// gain (offset so the most negative possible gain lands at index 0), with a
+// lazily maintained upper bound on the highest non-empty bucket. All
+// operations — insert, remove, gain update (remove+insert) — are O(1); move
+// selection walks the bucket array downward from the lazy maximum, which
+// amortises to O(gain range) per pass instead of the former O(n) scan per
+// move.
+//
+// The structure relies on a drain invariant for cheap reuse: every pass
+// removes all vertices it inserted (moves remove the moved vertex; drain
+// removes the survivors), so the heads arrays are all -1 between passes and
+// never need clearing, even when the gain range changes between graphs.
+type gainBuckets struct {
+	off   int64      // gain offset: bucket index = gain + off
+	heads [2][]int32 // per-side bucket heads, -1 when empty
+	next  []int32    // next vertex in bucket, -1 at tail
+	prev  []int32    // previous vertex in bucket, -1 at head
+	where []int32    // bucket index of v, -1 when not in the structure
+	maxB  [2]int     // lazy upper bound on the highest non-empty bucket
+	count [2]int     // vertices currently stored per side
+}
+
+// reset prepares the structure for a graph with n vertices whose gains lie
+// in [-off, off]. It assumes the drain invariant holds (empty structure).
+func (b *gainBuckets) reset(n int, off int64) {
+	b.off = off
+	nbkt := int(2*off + 1)
+	for s := 0; s < 2; s++ {
+		if cap(b.heads[s]) < nbkt {
+			grown := make([]int32, nbkt)
+			for i := range grown {
+				grown[i] = -1
+			}
+			b.heads[s] = grown
+		} else {
+			// Previously used region is all -1 by the drain invariant; only
+			// newly exposed capacity needs initialising.
+			old := len(b.heads[s])
+			b.heads[s] = b.heads[s][:nbkt]
+			for i := old; i < nbkt; i++ {
+				b.heads[s][i] = -1
+			}
+		}
+		b.maxB[s] = -1
+		b.count[s] = 0
+	}
+	if cap(b.where) < n {
+		b.next = make([]int32, n)
+		b.prev = make([]int32, n)
+		b.where = make([]int32, n)
+	} else {
+		b.next = b.next[:n]
+		b.prev = b.prev[:n]
+		b.where = b.where[:n]
+	}
+	for i := 0; i < n; i++ {
+		b.where[i] = -1
+	}
+}
+
+// insert adds v with the given gain to side s's lists (LIFO within a
+// bucket, the classic FM tie-break).
+func (b *gainBuckets) insert(s int, v int32, gain int64) {
+	i := int(gain + b.off)
+	h := b.heads[s][i]
+	b.next[v] = h
+	b.prev[v] = -1
+	if h >= 0 {
+		b.prev[h] = v
+	}
+	b.heads[s][i] = v
+	b.where[v] = int32(i)
+	if i > b.maxB[s] {
+		b.maxB[s] = i
+	}
+	b.count[s]++
+}
+
+// remove unlinks v from side s's lists.
+func (b *gainBuckets) remove(s int, v int32) {
+	i := b.where[v]
+	p, n := b.prev[v], b.next[v]
+	if p >= 0 {
+		b.next[p] = n
+	} else {
+		b.heads[s][i] = n
+	}
+	if n >= 0 {
+		b.prev[n] = p
+	}
+	b.where[v] = -1
+	b.count[s]--
+}
+
+// update moves v to its new gain bucket on side s.
+func (b *gainBuckets) update(s int, v int32, gain int64) {
+	b.remove(s, v)
+	b.insert(s, v, gain)
+}
+
+// top returns the head vertex of side s's highest non-empty bucket and its
+// gain, or (-1, 0) when the side is empty. It tightens the lazy maximum as
+// it walks.
+func (b *gainBuckets) top(s int) (int32, int64) {
+	if b.count[s] == 0 {
+		b.maxB[s] = -1
+		return -1, 0
+	}
+	for i := b.maxB[s]; i >= 0; i-- {
+		if v := b.heads[s][i]; v >= 0 {
+			b.maxB[s] = i
+			return v, int64(i) - b.off
+		}
+	}
+	b.maxB[s] = -1
+	return -1, 0
+}
+
+// drain removes every remaining vertex, restoring the all-empty heads
+// invariant. side tells which structure each vertex lives in.
+func (b *gainBuckets) drain(side []int8) {
+	if b.count[0] == 0 && b.count[1] == 0 {
+		return
+	}
+	for v := int32(0); v < int32(len(b.where)); v++ {
+		if b.where[v] >= 0 {
+			b.remove(int(side[v]), v)
+		}
+	}
+}

@@ -1,6 +1,5 @@
 package metis
 
-import "math/rand"
 
 // coarseLevel records one level of the multilevel hierarchy: the coarse
 // graph and the mapping from fine vertices to coarse vertices.
@@ -11,18 +10,18 @@ type coarseLevel struct {
 }
 
 // coarsen repeatedly contracts heavy-edge matchings of g until the graph has
-// at most coarsenTo vertices or contraction stalls (reduction < 10%).
+// at most coarsenTo vertices or contraction stalls (reduction < 5%).
 // It returns the hierarchy from finest to coarsest; the coarsest graph is
 // levels[len-1].coarse (or g itself when no contraction happened).
-func coarsen(g *wgraph, coarsenTo int, rng *rand.Rand) ([]coarseLevel, *wgraph) {
+func coarsen(g *wgraph, coarsenTo int, rng *prng, ws *workspace) ([]coarseLevel, *wgraph) {
 	var levels []coarseLevel
 	cur := g
 	for cur.n() > coarsenTo {
-		cmap, nc := heavyEdgeMatch(cur, rng)
+		cmap, nc := heavyEdgeMatch(cur, rng, ws)
 		if nc >= cur.n() || float64(nc) > 0.95*float64(cur.n()) {
 			break // matching stalled; stop coarsening
 		}
-		next := contract(cur, cmap, nc)
+		next := contract(cur, cmap, nc, ws)
 		levels = append(levels, coarseLevel{fine: cur, coarse: next, cmap: cmap})
 		cur = next
 	}
@@ -32,16 +31,23 @@ func coarsen(g *wgraph, coarsenTo int, rng *rand.Rand) ([]coarseLevel, *wgraph) 
 // heavyEdgeMatch computes a heavy-edge matching: vertices are visited in
 // random order, and each unmatched vertex is matched with its unmatched
 // neighbour connected by the heaviest edge. It returns the fine-to-coarse
-// map and the number of coarse vertices.
-func heavyEdgeMatch(g *wgraph, rng *rand.Rand) (cmap []int32, nc int) {
+// map and the number of coarse vertices. The visit order comes from the
+// workspace's reused index buffer, re-shuffled in place (no per-level
+// rng.Perm allocation).
+func heavyEdgeMatch(g *wgraph, rng *prng, ws *workspace) (cmap []int32, nc int) {
 	n := g.n()
-	match := make([]int32, n)
+	match := growI32(ws.match, n)
+	ws.match = match
 	for i := range match {
 		match[i] = -1
 	}
-	order := rng.Perm(n)
-	for _, vi := range order {
-		v := int32(vi)
+	perm := growI32(ws.perm, n)
+	ws.perm = perm
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	for _, v := range perm {
 		if match[v] >= 0 {
 			continue
 		}
@@ -82,35 +88,58 @@ func heavyEdgeMatch(g *wgraph, rng *rand.Rand) (cmap []int32, nc int) {
 
 // contract builds the coarse graph induced by cmap. Edge weights between
 // coarse vertices are the sums of the fine edge weights; edges internal to a
-// coarse vertex disappear. Vertex weights and sizes are summed.
-func contract(g *wgraph, cmap []int32, nc int) *wgraph {
+// coarse vertex disappear. Vertex weights and sizes are summed. All scratch
+// (member ordering, row positions, stamps) lives in the workspace; only the
+// coarse graph itself — which must outlive this call as a V-cycle level —
+// is allocated.
+func contract(g *wgraph, cmap []int32, nc int, ws *workspace) *wgraph {
 	coarse := &wgraph{
 		xadj:  make([]int32, nc+1),
 		vwgt:  make([]int32, nc),
 		vsize: make([]int32, nc),
 	}
-	for v := 0; v < g.n(); v++ {
+	n := g.n()
+	for v := 0; v < n; v++ {
 		c := cmap[v]
 		coarse.vwgt[c] += g.vwgt[v]
 		coarse.vsize[c] += g.vsize[v]
 	}
+	// Order fine vertices by coarse owner with a counting sort (replaces the
+	// former [][]int32 member lists).
+	mstart := growI32(ws.mstart, nc+1)
+	ws.mstart = mstart
+	for i := 0; i <= nc; i++ {
+		mstart[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		mstart[cmap[v]+1]++
+	}
+	for c := 0; c < nc; c++ {
+		mstart[c+1] += mstart[c]
+	}
+	morder := growI32(ws.morder, n)
+	ws.morder = morder
+	pos := growI32(ws.pos, nc)
+	ws.pos = pos
+	copy(pos, mstart[:nc])
+	for v := int32(0); v < int32(n); v++ {
+		c := cmap[v]
+		morder[pos[c]] = v
+		pos[c]++
+	}
 	// Accumulate coarse adjacency with a dense scratch indexed by coarse id
-	// (reset lazily via a timestamp array to stay O(E)).
-	pos := make([]int32, nc) // position of coarse neighbour in current row
-	stamp := make([]int32, nc)
+	// (reset lazily via a stamp array to stay O(E)). pos is reused as the
+	// position of each coarse neighbour in the current row; reads are guarded
+	// by the stamp, so the counting-sort cursors above need no clearing.
+	stamp := growI32(ws.cstamp, nc)
+	ws.cstamp = stamp
 	for i := range stamp {
 		stamp[i] = -1
-	}
-	// members[c] lists fine vertices of coarse vertex c.
-	members := make([][]int32, nc)
-	for v := int32(0); v < int32(g.n()); v++ {
-		members[cmap[v]] = append(members[cmap[v]], v)
 	}
 	adj := make([]int32, 0, len(g.adj))
 	ewgt := make([]int32, 0, len(g.ewgt))
 	for c := int32(0); c < int32(nc); c++ {
-		rowStart := int32(len(adj))
-		for _, v := range members[c] {
+		for _, v := range morder[mstart[c]:mstart[c+1]] {
 			a, w := g.deg(v)
 			for i, u := range a {
 				cu := cmap[u]
@@ -127,7 +156,6 @@ func contract(g *wgraph, cmap []int32, nc int) *wgraph {
 				}
 			}
 		}
-		_ = rowStart
 		coarse.xadj[c+1] = int32(len(adj))
 	}
 	coarse.adj = adj

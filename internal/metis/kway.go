@@ -1,27 +1,29 @@
 package metis
 
-import "math/rand"
-
 // kwayPartition implements multilevel K-way partitioning: coarsen the whole
 // graph, compute an initial K-way partition of the coarsest graph by
-// recursive bisection, then project back while running greedy K-way
-// refinement at every level. The refinement objective is the edgecut for
-// Method KWay and the total communication volume for Method KWayVol.
-func kwayPartition(g *wgraph, nparts int, rng *rand.Rand, opt Options) []int32 {
+// (parallel) recursive bisection, then project back while running greedy
+// K-way refinement at every level. The refinement objective is the edgecut
+// for Method KWay and the total communication volume for Method KWayVol.
+func kwayPartition(g *wgraph, nparts int, rng *prng, opt Options) []int32 {
+	ws := getWS()
+	defer putWS(ws)
 	// Keep enough coarse vertices to seed every part.
 	coarsenTo := opt.CoarsenTo * nparts / 8
 	if coarsenTo < 4*nparts {
 		coarsenTo = 4 * nparts
 	}
-	levels, coarsest := coarsen(g, coarsenTo, rng)
+	levels, coarsest := coarsen(g, coarsenTo, rng, ws)
 
-	// Initial K-way partition of the coarsest graph via recursive bisection.
+	// Initial K-way partition of the coarsest graph via recursive bisection,
+	// on an RNG stream derived from (but independent of) the main seed so
+	// the parallel subtree fan-out stays deterministic.
 	assign := make([]int32, coarsest.n())
 	verts := make([]int32, coarsest.n())
 	for i := range verts {
 		verts[i] = int32(i)
 	}
-	recurseOn(coarsest, verts, 0, nparts, assign, rng, opt)
+	runRB(coarsest, verts, 0, nparts, assign, childSeed(uint64(opt.Seed), 2), opt)
 
 	refine := kwayRefineCut
 	if opt.Method == KWayVol {
@@ -34,7 +36,7 @@ func kwayPartition(g *wgraph, nparts int, rng *rand.Rand, opt Options) []int32 {
 		}
 	}
 	maxPart := maxPartWeight(g.totalVWgt(), nparts, opt.Imbalance, maxVW)
-	refine(coarsest, assign, nparts, maxPart, opt.RefineIters, rng)
+	refine(coarsest, assign, nparts, maxPart, opt.RefineIters, rng, ws)
 
 	for i := len(levels) - 1; i >= 0; i-- {
 		lv := levels[i]
@@ -43,7 +45,7 @@ func kwayPartition(g *wgraph, nparts int, rng *rand.Rand, opt Options) []int32 {
 			fine[v] = assign[lv.cmap[v]]
 		}
 		assign = fine
-		refine(lv.fine, assign, nparts, maxPart, opt.RefineIters, rng)
+		refine(lv.fine, assign, nparts, maxPart, opt.RefineIters, rng, ws)
 	}
 	return assign
 }
@@ -74,10 +76,11 @@ func maxPartWeight(total int64, nparts int, imbalance float64, maxVW int64) int6
 // the globally lightest part when no adjacent part has room), choosing the
 // eviction with the smallest cut penalty. It runs until every part is within
 // the bound or no further move is possible.
-func forceBalance(g *wgraph, assign []int32, nparts int, maxPart int64, pwgt []int64) {
+func forceBalance(g *wgraph, assign []int32, nparts int, maxPart int64, pwgt []int64, ws *workspace) {
 	n := g.n()
-	conn := make([]int64, nparts)
-	touched := make([]int32, 0, 16)
+	conn := ws.connFor(nparts)
+	touched := ws.touched[:0]
+	defer func() { ws.touched = touched[:0] }()
 	for {
 		// Find an overweight part.
 		over := int32(-1)
@@ -151,25 +154,76 @@ func forceBalance(g *wgraph, assign []int32, nparts int, maxPart int64, pwgt []i
 	}
 }
 
-// kwayRefineCut runs greedy K-way refinement minimising the weighted
-// edgecut (the classical Karypis-Kumar scheme): boundary vertices are
-// visited in random order and moved to the adjacent part with the largest
-// positive cut gain, subject to the balance constraint.
-func kwayRefineCut(g *wgraph, assign []int32, nparts int, maxPart int64, iters int, rng *rand.Rand) {
+// connFor returns the per-part connectivity scratch, zeroed and sized to
+// nparts. Users restore the all-zero state through their touched lists, so
+// the zero fill here is the only O(nparts) cost per refinement entry.
+func (ws *workspace) connFor(nparts int) []int64 {
+	ws.conn = growI64(ws.conn, nparts)
+	for i := range ws.conn {
+		ws.conn[i] = 0
+	}
+	return ws.conn
+}
+
+// boundaryQueue fills dst with every boundary vertex of the current
+// assignment (in vertex order; the caller shuffles), marks them in ws.inQ
+// (reset first), and returns the queue.
+func boundaryQueue(g *wgraph, assign []int32, ws *workspace, dst []int32) []int32 {
 	n := g.n()
-	pwgt := make([]int64, nparts)
+	queue := dst[:0]
+	inQ := growBool(ws.inQ, n)
+	ws.inQ = inQ
+	for i := range inQ {
+		inQ[i] = false
+	}
+	for v := int32(0); v < int32(n); v++ {
+		adj, _ := g.deg(v)
+		for _, u := range adj {
+			if assign[u] != assign[v] {
+				queue = append(queue, v)
+				inQ[v] = true
+				break
+			}
+		}
+	}
+	return queue
+}
+
+// kwayRefineCut runs greedy K-way refinement minimising the weighted
+// edgecut (the classical Karypis-Kumar scheme), boundary-driven: a queue
+// holds the current boundary vertices in random order; when a vertex moves,
+// only its neighbourhood — the exact set whose gains changed — is
+// re-enqueued for the next pass. Per-vertex connectivity is accumulated in
+// an O(nparts) scratch array reset through a touched list, so one pass costs
+// O(boundary + moved·deg) instead of the former full-graph rescan.
+func kwayRefineCut(g *wgraph, assign []int32, nparts int, maxPart int64, iters int, rng *prng, ws *workspace) {
+	n := g.n()
+	pwgt := growI64(ws.pwgt, nparts)
+	ws.pwgt = pwgt
+	for p := range pwgt {
+		pwgt[p] = 0
+	}
 	for v := 0; v < n; v++ {
 		pwgt[assign[v]] += int64(g.vwgt[v])
 	}
-	forceBalance(g, assign, nparts, maxPart, pwgt)
-	// conn[p] is scratch for per-part connectivity of one vertex.
-	conn := make([]int64, nparts)
-	touched := make([]int32, 0, 16)
+	forceBalance(g, assign, nparts, maxPart, pwgt, ws)
+	conn := ws.connFor(nparts)
+	touched := ws.touched[:0]
+	queue := boundaryQueue(g, assign, ws, ws.queue)
+	next := ws.queue2[:0]
+	inQ := ws.inQ
+	// full marks whether the current queue holds the entire boundary. When
+	// an incremental pass stops moving, one full boundary pass verifies true
+	// convergence — moves elsewhere shift part weights, which can unblock
+	// balance-constrained moves the incremental queue never revisits.
+	full := true
 
-	for iter := 0; iter < iters; iter++ {
+	for iter := 0; iter < iters && len(queue) > 0; iter++ {
+		rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
 		moved := 0
-		for _, vi := range rng.Perm(n) {
-			v := int32(vi)
+		next = next[:0]
+		for _, v := range queue {
+			inQ[v] = false
 			adj, wgt := g.deg(v)
 			if len(adj) == 0 {
 				continue
@@ -226,6 +280,19 @@ func kwayRefineCut(g *wgraph, assign []int32, nparts int, maxPart int64, iters i
 					pwgt[best] += int64(g.vwgt[v])
 					assign[v] = best
 					moved++
+					// Re-enqueue the neighbourhood whose gains changed.
+					// Vertices still pending in the current pass keep their
+					// slot (they will be evaluated against the new state).
+					for _, u := range adj {
+						if !inQ[u] {
+							inQ[u] = true
+							next = append(next, u)
+						}
+					}
+					if !inQ[v] {
+						inQ[v] = true
+						next = append(next, v)
+					}
 				}
 			}
 			for _, p := range touched {
@@ -233,38 +300,59 @@ func kwayRefineCut(g *wgraph, assign []int32, nparts int, maxPart int64, iters i
 			}
 		}
 		if moved == 0 {
-			break
+			if full {
+				break // converged on the whole boundary
+			}
+			// Incremental convergence only: verify against the full
+			// boundary (reusing the dead queue buffer; next is empty).
+			queue = boundaryQueue(g, assign, ws, queue)
+			full = true
+			continue
 		}
+		queue, next = next, queue
+		full = false
 	}
+	ws.queue, ws.queue2 = queue[:0], next[:0]
+	ws.touched = touched[:0]
 }
 
 // kwayRefineVol runs greedy K-way refinement minimising the METIS-style
 // total communication volume: sum over vertices of vsize(v) times the number
 // of distinct remote parts among v's neighbours. Moving a vertex changes its
 // own contribution and that of its neighbours; the gain is evaluated exactly
-// on the local neighbourhood.
-func kwayRefineVol(g *wgraph, assign []int32, nparts int, maxPart int64, iters int, rng *rand.Rand) {
+// on the local neighbourhood. Distinct-part counting uses the epoch-stamped
+// ws.stamp scratch (the stamp trick of coarsen.go) instead of per-vertex
+// maps, and the visit order is boundary-driven like kwayRefineCut — with a
+// two-hop re-enqueue, because a move changes the exact volume evaluation of
+// everything within distance two.
+func kwayRefineVol(g *wgraph, assign []int32, nparts int, maxPart int64, iters int, rng *prng, ws *workspace) {
 	n := g.n()
-	pwgt := make([]int64, nparts)
+	pwgt := growI64(ws.pwgt, nparts)
+	ws.pwgt = pwgt
+	for p := range pwgt {
+		pwgt[p] = 0
+	}
 	for v := 0; v < n; v++ {
 		pwgt[assign[v]] += int64(g.vwgt[v])
 	}
-	forceBalance(g, assign, nparts, maxPart, pwgt)
+	forceBalance(g, assign, nparts, maxPart, pwgt, ws)
 
 	// localVol returns the communication volume contributed by vertex v
-	// under the current assignment.
-	distinct := make(map[int32]struct{}, 8)
+	// under the current assignment, counting distinct remote parts with the
+	// epoch-stamped scratch.
 	localVol := func(v int32) int64 {
 		adj, _ := g.deg(v)
-		for p := range distinct {
-			delete(distinct, p)
-		}
+		e := ws.nextEpoch(nparts)
+		home := assign[v]
+		cnt := int64(0)
 		for _, u := range adj {
-			if assign[u] != assign[v] {
-				distinct[assign[u]] = struct{}{}
+			p := assign[u]
+			if p != home && ws.stamp[p] != e {
+				ws.stamp[p] = e
+				cnt++
 			}
 		}
-		return int64(g.vsize[v]) * int64(len(distinct))
+		return int64(g.vsize[v]) * cnt
 	}
 	// neighbourhoodVol is the volume of v plus all its neighbours: the
 	// exact set whose contributions can change when v moves.
@@ -277,20 +365,34 @@ func kwayRefineVol(g *wgraph, assign []int32, nparts int, maxPart int64, iters i
 		return vol
 	}
 
-	for iter := 0; iter < iters; iter++ {
+	queue := boundaryQueue(g, assign, ws, ws.queue)
+	next := ws.queue2[:0]
+	inQ := ws.inQ
+	cands := ws.touched[:0]
+	// See kwayRefineCut: full marks a whole-boundary queue; incremental
+	// convergence is verified against the full boundary before stopping.
+	full := true
+
+	for iter := 0; iter < iters && len(queue) > 0; iter++ {
+		rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
 		moved := 0
-		for _, vi := range rng.Perm(n) {
-			v := int32(vi)
+		next = next[:0]
+		for _, v := range queue {
+			inQ[v] = false
 			adj, _ := g.deg(v)
 			home := assign[v]
 			if pwgt[home] == int64(g.vwgt[v]) {
 				continue // never empty a part
 			}
-			// Candidate destinations: parts of neighbours.
-			cands := map[int32]struct{}{}
+			// Candidate destinations: distinct parts of neighbours, in
+			// adjacency order (deterministic, unlike map iteration).
+			e := ws.nextEpoch(nparts)
+			cands = cands[:0]
 			for _, u := range adj {
-				if assign[u] != home {
-					cands[assign[u]] = struct{}{}
+				p := assign[u]
+				if p != home && ws.stamp[p] != e {
+					ws.stamp[p] = e
+					cands = append(cands, p)
 				}
 			}
 			if len(cands) == 0 {
@@ -300,7 +402,7 @@ func kwayRefineVol(g *wgraph, assign []int32, nparts int, maxPart int64, iters i
 			best := home
 			bestAfter := before
 			bestPw := pwgt[home]
-			for p := range cands {
+			for _, p := range cands {
 				if pwgt[p]+int64(g.vwgt[v]) > maxPart {
 					continue
 				}
@@ -316,10 +418,38 @@ func kwayRefineVol(g *wgraph, assign []int32, nparts int, maxPart int64, iters i
 				pwgt[best] += int64(g.vwgt[v])
 				assign[v] = best
 				moved++
+				// Two-hop re-enqueue: the move changes the volume
+				// evaluation of v, its neighbours, and their neighbours.
+				if !inQ[v] {
+					inQ[v] = true
+					next = append(next, v)
+				}
+				for _, u := range adj {
+					if !inQ[u] {
+						inQ[u] = true
+						next = append(next, u)
+					}
+					uadj, _ := g.deg(u)
+					for _, w := range uadj {
+						if !inQ[w] {
+							inQ[w] = true
+							next = append(next, w)
+						}
+					}
+				}
 			}
 		}
 		if moved == 0 {
-			break
+			if full {
+				break // converged on the whole boundary
+			}
+			queue = boundaryQueue(g, assign, ws, queue)
+			full = true
+			continue
 		}
+		queue, next = next, queue
+		full = false
 	}
+	ws.queue, ws.queue2 = queue[:0], next[:0]
+	ws.touched = cands[:0]
 }

@@ -11,12 +11,26 @@
 // The implementation follows the classical multilevel scheme of Karypis and
 // Kumar: heavy-edge-matching coarsening, greedy-graph-growing initial
 // bisection, and Fiduccia-Mattheyses (2-way) or greedy (K-way) refinement
-// during uncoarsening. It is deterministic for a fixed Options.Seed.
+// during uncoarsening. The hot paths are engineered for partitioning as an
+// online cost rather than one-shot preprocessing:
+//
+//   - FM move selection uses gain buckets (see gainBuckets), making a
+//     refinement pass O(E) instead of O(n·moves);
+//   - K-way refinement is boundary-driven: only vertices whose
+//     neighbourhood changed are revisited, and all per-vertex set
+//     arithmetic runs on epoch-stamped scratch arrays;
+//   - the recursive-bisection subtrees fan out on goroutines, each with an
+//     RNG stream derived deterministically from Options.Seed and the
+//     subtree position, so results are bit-identical for any GOMAXPROCS;
+//   - per-goroutine workspaces (sync.Pool) carry every scratch buffer
+//     across coarsening levels, init trials and refinement passes.
+//
+// It is deterministic for a fixed Options.Seed: repeated runs and any
+// GOMAXPROCS setting produce byte-identical assignments.
 package metis
 
 import (
 	"fmt"
-	"math/rand"
 
 	"sfccube/internal/graph"
 	"sfccube/internal/partition"
@@ -69,7 +83,8 @@ type Options struct {
 	// vertices (scaled by the number of parts for K-way). Zero means 40.
 	CoarsenTo int
 	// InitTrials is the number of random greedy-graph-growing attempts
-	// per initial bisection. Zero means 8.
+	// per initial bisection (capped by the coarsest graph's vertex count).
+	// Zero means 4, METIS's GGGP trial count.
 	InitTrials int
 	// RefineIters bounds the refinement passes per level. Zero means 10.
 	RefineIters int
@@ -91,7 +106,7 @@ func (o Options) withDefaults() Options {
 		o.CoarsenTo = 40
 	}
 	if o.InitTrials == 0 {
-		o.InitTrials = 8
+		o.InitTrials = 4
 	}
 	if o.RefineIters == 0 {
 		o.RefineIters = 10
@@ -110,7 +125,6 @@ func Partition(gr *graph.Graph, nparts int, opt Options) (*partition.Partition, 
 	}
 	opt = opt.withDefaults()
 	wg := fromGraph(gr)
-	rng := rand.New(rand.NewSource(opt.Seed))
 
 	var assign []int32
 	switch opt.Method {
@@ -120,8 +134,9 @@ func Partition(gr *graph.Graph, nparts int, opt Options) (*partition.Partition, 
 		for i := range verts {
 			verts[i] = int32(i)
 		}
-		recurseOn(wg, verts, 0, nparts, assign, rng, opt)
+		runRB(wg, verts, 0, nparts, assign, uint64(opt.Seed), opt)
 	case KWay, KWayVol:
+		rng := newPRNG(splitmix64(uint64(opt.Seed)))
 		assign = kwayPartition(wg, nparts, rng, opt)
 	default:
 		return nil, fmt.Errorf("metis: unknown method %d", opt.Method)
@@ -137,9 +152,41 @@ type wgraph struct {
 	ewgt  []int32
 	vwgt  []int32
 	vsize []int32
+
+	// Cached degree/weight statistics (see stats): a graph is refined many
+	// times — once per init trial plus once per V-cycle level — and the FM
+	// preamble used to rescan all edges on every call.
+	maxVW, minVW, maxDeg int64
+	statsValid           bool
 }
 
 func (g *wgraph) n() int { return len(g.vwgt) }
+
+// stats returns the maximum/minimum vertex weight and the maximum weighted
+// degree, computing and caching them on first use.
+func (g *wgraph) stats() (maxVW, minVW, maxDeg int64) {
+	if !g.statsValid {
+		g.maxVW, g.minVW, g.maxDeg = 1, 1<<62, 1
+		for v := 0; v < g.n(); v++ {
+			w := int64(g.vwgt[v])
+			if w > g.maxVW {
+				g.maxVW = w
+			}
+			if w < g.minVW {
+				g.minVW = w
+			}
+			var wd int64
+			for _, ew := range g.ewgt[g.xadj[v]:g.xadj[v+1]] {
+				wd += int64(ew)
+			}
+			if wd > g.maxDeg {
+				g.maxDeg = wd
+			}
+		}
+		g.statsValid = true
+	}
+	return g.maxVW, g.minVW, g.maxDeg
+}
 
 func (g *wgraph) deg(v int32) (adj, wgt []int32) {
 	return g.adj[g.xadj[v]:g.xadj[v+1]], g.ewgt[g.xadj[v]:g.xadj[v+1]]

@@ -215,8 +215,8 @@ func TestWeightedVertices(t *testing.T) {
 
 func TestCoarsenPreservesTotals(t *testing.T) {
 	g := fromGraph(gridGraph(10, 10))
-	rng := rand.New(rand.NewSource(3))
-	levels, coarsest := coarsen(g, 10, rng)
+	rng := newPRNG(3)
+	levels, coarsest := coarsen(g, 10, rng, getWS())
 	if len(levels) == 0 {
 		t.Fatal("no coarsening happened on a 100-vertex grid")
 	}
@@ -279,9 +279,10 @@ func checkSymmetric(t *testing.T, g *wgraph) {
 // only by removing matched internal edges.
 func TestContractEdgeWeightConservation(t *testing.T) {
 	g := fromGraph(gridGraph(6, 6))
-	rng := rand.New(rand.NewSource(5))
-	cmap, nc := heavyEdgeMatch(g, rng)
-	coarse := contract(g, cmap, nc)
+	rng := newPRNG(5)
+	ws := getWS()
+	cmap, nc := heavyEdgeMatch(g, rng, ws)
+	coarse := contract(g, cmap, nc, ws)
 	// Sum of coarse edge weights = sum of fine edge weights between
 	// different coarse vertices.
 	var fineCross, coarseTotal int64
@@ -312,7 +313,7 @@ func TestFMImprovesBadBisection(t *testing.T) {
 		side[i] = int8(i % 2)
 	}
 	before := cutOf(g, side)
-	fmRefine(g, side, 32, 0, 10)
+	fmRefine(g, side, 32, 0, 10, getWS())
 	after := cutOf(g, side)
 	if after >= before {
 		t.Fatalf("FM did not improve cut: %d -> %d", before, after)
@@ -369,25 +370,41 @@ func TestKWayOnPaperResolution(t *testing.T) {
 	}
 }
 
-func BenchmarkRBK384P96(b *testing.B) {
-	g := meshGraph(b, 8)
+// benchPartition is the shared body of the partitioner benchmarks: it
+// partitions the cubed-sphere graph for the given resolution into nparts
+// with the given method. The ns/op trajectory of these benchmarks is
+// recorded in BENCH_metis.json at the repo root; regenerate with
+//
+//	go test ./internal/metis -run '^$' -bench 'K384P96|K13824|K55296' -benchtime 10x
+//
+// and append a new entry.
+func benchPartition(b *testing.B, ne, nparts int, m Method) {
+	b.Helper()
+	g := meshGraph(b, ne)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Partition(g, 96, Options{Method: RB}); err != nil {
+		if _, err := Partition(g, nparts, Options{Method: m}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func BenchmarkKWayK384P96(b *testing.B) {
-	g := meshGraph(b, 8)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Partition(g, 96, Options{Method: KWay}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// --- paper-scale benchmarks: K=384 elements (Ne=8) on 96 processors ---
+
+func BenchmarkRBK384P96(b *testing.B)      { benchPartition(b, 8, 96, RB) }
+func BenchmarkKWayK384P96(b *testing.B)    { benchPartition(b, 8, 96, KWay) }
+func BenchmarkKWayVolK384P96(b *testing.B) { benchPartition(b, 8, 96, KWayVol) }
+
+// --- scale benchmarks: production-size meshes where partitioning is an
+// online cost, not one-shot preprocessing. Ne=48 and Ne=96 are
+// Hilbert-Peano-capable (2^n * 3^m) resolutions with K=13824 and K=55296
+// elements respectively. ---
+
+func BenchmarkRBK13824P768(b *testing.B)    { benchPartition(b, 48, 768, RB) }
+func BenchmarkKWayK13824P768(b *testing.B)  { benchPartition(b, 48, 768, KWay) }
+func BenchmarkKWayK13824P1536(b *testing.B) { benchPartition(b, 48, 1536, KWay) }
+func BenchmarkRBK55296P3072(b *testing.B)   { benchPartition(b, 96, 3072, RB) }
+func BenchmarkKWayK55296P3072(b *testing.B) { benchPartition(b, 96, 3072, KWay) }
 
 // mustMesh builds a cubed-sphere mesh or fails the test.
 func mustMesh(tb testing.TB, ne int) *mesh.Mesh {
