@@ -8,19 +8,30 @@
 //
 //	seamsim -ne 8 -degree 7 -ranks 8 -steps 20 -method sfc
 //	seamsim -ne 8 -ranks 8 -method kway    # compare partitioners
+//
+// The resilience layer is exercised through -checkpoint (periodic CRC-
+// checksummed checkpoints with automatic resume on restart) and -inject
+// (a seeded, replayable fault plan):
+//
+//	seamsim -ne 4 -ranks 4 -steps 16 -checkpoint /tmp/ck -checkpoint-every 4
+//	seamsim -ne 4 -ranks 4 -steps 12 -checkpoint /tmp/ck \
+//	    -inject nan@3,rankdeath@5,stall@7 -step-deadline 2s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"sfccube/internal/core"
 	"sfccube/internal/graph"
 	"sfccube/internal/mesh"
 	"sfccube/internal/metis"
 	"sfccube/internal/partition"
+	"sfccube/internal/resilience"
 	"sfccube/internal/seam"
 )
 
@@ -31,15 +42,38 @@ func main() {
 	steps := flag.Int("steps", 20, "number of RK4 time steps")
 	method := flag.String("method", "sfc", "partitioner: sfc, rb, kway, tv, block")
 	seed := flag.Int64("seed", 1, "seed for the METIS-style partitioners")
+	ckDir := flag.String("checkpoint", "", "directory for CRC-checksummed checkpoints; resumes from the newest valid one")
+	ckEvery := flag.Int("checkpoint-every", 8, "checkpoint cadence in steps (with -checkpoint)")
+	inject := flag.String("inject", "", "fault plan, e.g. nan@3,rankdeath@5:2,stall@7,corruptckpt@4,parttimeout@6")
+	injectSeed := flag.Uint64("inject-seed", 1, "seed deriving unspecified fault parameters (replayable)")
+	stepDeadline := flag.Duration("step-deadline", 0, "per-step watchdog deadline (stall detection; 0 disables)")
 	flag.Parse()
 
-	if err := run(*ne, *degree, *ranks, *steps, *method, *seed); err != nil {
+	cfg := runConfig{
+		ne: *ne, degree: *degree, ranks: *ranks, steps: *steps,
+		method: *method, seed: *seed,
+		ckDir: *ckDir, ckEvery: *ckEvery,
+		inject: *inject, injectSeed: *injectSeed, stepDeadline: *stepDeadline,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "seamsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ne, degree, ranks, steps int, method string, seed int64) error {
+type runConfig struct {
+	ne, degree, ranks, steps int
+	method                   string
+	seed                     int64
+	ckDir                    string
+	ckEvery                  int
+	inject                   string
+	injectSeed               uint64
+	stepDeadline             time.Duration
+}
+
+func run(cfg runConfig) error {
+	ne, degree, ranks, steps, method, seed := cfg.ne, cfg.degree, cfg.ranks, cfg.steps, cfg.method, cfg.seed
 	g, err := seam.NewGrid(ne, degree, seam.EarthRadius, seam.EarthOmega)
 	if err != nil {
 		return err
@@ -64,6 +98,11 @@ func run(ne, degree, ranks, steps int, method string, seed int64) error {
 
 	fmt.Printf("K=%d elements, np=%d GLL points, %d ranks (%s partition), dt=%.1f s\n",
 		g.NumElems(), g.Np, ranks, method, dt)
+
+	if cfg.ckDir != "" || cfg.inject != "" {
+		return runSupervised(cfg, sw, assign, dt, phi)
+	}
+
 	mass0 := sw.TotalMass()
 	elapsed := runner.Run(steps, dt)
 	mass1 := sw.TotalMass()
@@ -95,6 +134,60 @@ func run(ne, degree, ranks, steps int, method string, seed int64) error {
 		fmt.Printf("  rank %d: %d elements, %d bytes/step, busy %v\n",
 			rk, owned[rk], bytes[rk], runner.BusyTime[rk].Round(1000))
 	}
+	return nil
+}
+
+// runSupervised drives the integration through the resilience supervisor:
+// periodic checkpoints, per-step NaN sentinel, watchdog, and the fault plan
+// of -inject. Every recovery action is echoed from the deterministic event
+// log.
+func runSupervised(cfg runConfig, sw *seam.ShallowWater, assign []int32, dt float64, phi func(p mesh.Vec3) float64) error {
+	var store resilience.Store = resilience.NewMemStore()
+	if cfg.ckDir != "" {
+		fs, err := resilience.NewFileStore(cfg.ckDir)
+		if err != nil {
+			return err
+		}
+		store = fs
+	}
+	var inj *resilience.Injector
+	if cfg.inject != "" {
+		faults, err := resilience.ParseFaults(cfg.inject)
+		if err != nil {
+			return err
+		}
+		inj = resilience.NewInjector(cfg.injectSeed, faults...)
+		fmt.Printf("fault plan (seed %d): %s\n", cfg.injectSeed, cfg.inject)
+	}
+	sup := &resilience.Supervisor{
+		SW: sw, Ne: cfg.ne, Assign: assign, NRanks: cfg.ranks,
+		Store: store, Injector: inj,
+		Policy: resilience.Policy{
+			CheckpointEvery: cfg.ckEvery,
+			StepDeadline:    cfg.stepDeadline,
+		},
+	}
+	mass0 := sw.TotalMass()
+	start := time.Now()
+	rep, err := sup.Run(context.Background(), cfg.steps, dt)
+	elapsed := time.Since(start)
+	for _, e := range rep.Events {
+		fmt.Printf("  [%s] %s\n", e.Kind, e)
+	}
+	if err != nil {
+		return err
+	}
+	mass1 := sw.TotalMass()
+	if rep.Resumed {
+		fmt.Printf("resumed from checkpoint; ")
+	}
+	fmt.Printf("supervised run reached step %d (dt=%.1f s, %d/%d ranks alive) in %v\n",
+		rep.StepsDone, rep.FinalDt, rep.AliveRanks, cfg.ranks, elapsed.Round(time.Millisecond))
+	fmt.Printf("checkpoints written: %d, rollbacks: %d\n", rep.Checkpoints, rep.Rollbacks)
+	fmt.Printf("Williamson-2 Phi L2 error: %.3e (steady solution; smaller is better)\n",
+		sw.PhiL2Error(phi))
+	fmt.Printf("mass conservation: relative drift %.3e\n",
+		math.Abs(mass1-mass0)/math.Abs(mass0))
 	return nil
 }
 

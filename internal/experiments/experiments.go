@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sfccube/internal/core"
 	"sfccube/internal/graph"
@@ -229,24 +230,35 @@ func sweepProcs(ne int, procs []int, seed int64, pick func(machine.StepReport, m
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
+		stop     atomic.Bool // first failure stops further cell launches
 	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for _, c := range cells {
+		if stop.Load() {
+			break // a cell failed; don't start work whose result is discarded
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(c cell) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if stop.Load() {
+				return
+			}
 			rep := s.Serial
 			if c.np != 1 {
 				p, err := partitionWith(c.method, s.Mesh, s.Graph, c.np, seed)
 				if err != nil {
-					errOnce.Do(func() { firstErr = err })
+					fail(err)
 					return
 				}
 				rep, err = machine.SimulateStep(s.Mesh, p, s.Workload, s.Model, nil)
 				if err != nil {
-					errOnce.Do(func() { firstErr = err })
+					fail(err)
 					return
 				}
 			}

@@ -10,10 +10,10 @@ import (
 // bisection, then FM refinement during uncoarsening. It returns the side
 // (0 or 1) of every vertex in a workspace-owned buffer; the caller releases
 // it with ws.putSide once the subgraphs are built.
-func bisect(g *wgraph, tw0, band float64, rng *prng, opt Options, ws *workspace) []int8 {
-	levels, coarsest := coarsen(g, opt.CoarsenTo, rng, ws)
-	side := initialBisection(coarsest, tw0, band, rng, opt, ws)
-	fmRefine(coarsest, side, tw0, band, opt.RefineIters, ws)
+func bisect(g *wgraph, tw0, band float64, rng *prng, opt Options, ws *workspace, stop *stopper) []int8 {
+	levels, coarsest := coarsen(g, opt.CoarsenTo, rng, ws, stop)
+	side := initialBisection(coarsest, tw0, band, rng, opt, ws, stop)
+	fmRefine(coarsest, side, tw0, band, opt.RefineIters, ws, stop)
 	// Project back through the hierarchy, refining at every level. The side
 	// buffers ping-pong through the workspace free list instead of
 	// allocating one per level.
@@ -25,14 +25,14 @@ func bisect(g *wgraph, tw0, band float64, rng *prng, opt Options, ws *workspace)
 		}
 		ws.putSide(side)
 		side = fineSide
-		fmRefine(lv.fine, side, tw0, band, opt.RefineIters, ws)
+		fmRefine(lv.fine, side, tw0, band, opt.RefineIters, ws, stop)
 	}
 	return side
 }
 
 // initialBisection runs several greedy-graph-growing attempts from random
 // seeds and keeps the one with the smallest cut after balancing.
-func initialBisection(g *wgraph, tw0, band float64, rng *prng, opt Options, ws *workspace) []int8 {
+func initialBisection(g *wgraph, tw0, band float64, rng *prng, opt Options, ws *workspace, stop *stopper) []int8 {
 	n := g.n()
 	best := ws.side(n)
 	if n == 1 {
@@ -57,7 +57,7 @@ func initialBisection(g *wgraph, tw0, band float64, rng *prng, opt Options, ws *
 	}
 	for t := 0; t < trials; t++ {
 		growRegion(g, tw0, rng, ws, trial)
-		cut := fmRefine(g, trial, tw0, band, iters, ws)
+		cut := fmRefine(g, trial, tw0, band, iters, ws, stop)
 		if bestCut < 0 || cut < bestCut {
 			bestCut = cut
 			copy(best, trial)
@@ -200,6 +200,7 @@ type rbCtx struct {
 	opt    Options
 	sem    chan struct{}
 	wg     sync.WaitGroup
+	stop   *stopper
 }
 
 // maxRBWorkers is the number of extra goroutines a recursive bisection may
@@ -219,8 +220,8 @@ func maxRBWorkers() int {
 // own RNG stream derived deterministically from the seed and the subtree's
 // position in the bisection tree, which makes the result bit-identical
 // regardless of GOMAXPROCS or scheduling.
-func runRB(g *wgraph, verts []int32, firstPart, nparts int, assign []int32, seed uint64, opt Options) {
-	c := &rbCtx{assign: assign, opt: opt, sem: make(chan struct{}, maxRBWorkers())}
+func runRB(g *wgraph, verts []int32, firstPart, nparts int, assign []int32, seed uint64, opt Options, stop *stopper) {
+	c := &rbCtx{assign: assign, opt: opt, sem: make(chan struct{}, maxRBWorkers()), stop: stop}
 	ws := getWS()
 	c.recurse(g, verts, firstPart, nparts, splitmix64(seed), ws)
 	putWS(ws)
@@ -231,6 +232,9 @@ func runRB(g *wgraph, verts []int32, firstPart, nparts int, assign []int32, seed
 // whose original graph ids are given by origVerts, writing the result into
 // c.assign (indexed by original ids).
 func (c *rbCtx) recurse(g *wgraph, origVerts []int32, firstPart, nparts int, seed uint64, ws *workspace) {
+	if c.stop.stopped() {
+		return // deadline poll per bisection-tree node; result is discarded
+	}
 	if nparts == 1 {
 		for _, v := range origVerts {
 			c.assign[v] = int32(firstPart)
@@ -245,7 +249,7 @@ func (c *rbCtx) recurse(g *wgraph, origVerts []int32, firstPart, nparts int, see
 	// The METIS-style UBfactor band: each bisection may trade this much
 	// imbalance for cut quality; the drift compounds down the tree.
 	band := c.opt.RBImbalance * float64(total)
-	side := bisect(g, tw0, band, rng, c.opt, ws)
+	side := bisect(g, tw0, band, rng, c.opt, ws, c.stop)
 	left, leftVerts := subgraph(g, side, 0, ws)
 	right, rightVerts := subgraph(g, side, 1, ws)
 	ws.putSide(side)

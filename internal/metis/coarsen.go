@@ -13,10 +13,15 @@ type coarseLevel struct {
 // at most coarsenTo vertices or contraction stalls (reduction < 5%).
 // It returns the hierarchy from finest to coarsest; the coarsest graph is
 // levels[len-1].coarse (or g itself when no contraction happened).
-func coarsen(g *wgraph, coarsenTo int, rng *prng, ws *workspace) ([]coarseLevel, *wgraph) {
+// Cancellation is polled once per level; an early stop simply leaves the
+// hierarchy shallower (the caller aborts before using the result).
+func coarsen(g *wgraph, coarsenTo int, rng *prng, ws *workspace, stop *stopper) ([]coarseLevel, *wgraph) {
 	var levels []coarseLevel
 	cur := g
 	for cur.n() > coarsenTo {
+		if stop.stopped() {
+			break
+		}
 		cmap, nc := heavyEdgeMatch(cur, rng, ws)
 		if nc >= cur.n() || float64(nc) > 0.95*float64(cur.n()) {
 			break // matching stalled; stop coarsening

@@ -1,0 +1,75 @@
+package metis
+
+import (
+	"context"
+	"fmt"
+
+	"sfccube/internal/graph"
+	"sfccube/internal/partition"
+)
+
+// stopper adapts a context to the cheap polling the multilevel hot loops
+// can afford: one non-blocking channel check per coarsening level,
+// refinement pass, or recursive-bisection node. A nil stopper (the plain
+// Partition path) never stops.
+type stopper struct {
+	ctx context.Context
+}
+
+func (s *stopper) stopped() bool {
+	if s == nil || s.ctx == nil {
+		return false
+	}
+	select {
+	case <-s.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// PartitionCtx is Partition with cooperative cancellation: the deadline or
+// cancellation of ctx is checked at every coarsening level, every refinement
+// pass, and every node of the recursive-bisection tree, so even a large
+// multilevel run aborts within one pass of the deadline. On cancellation it
+// returns an error wrapping ctx.Err() (errors.Is with
+// context.DeadlineExceeded / context.Canceled works); the partial assignment
+// is discarded. An un-cancelled PartitionCtx is byte-identical to Partition:
+// the deadline polls never touch the RNG streams.
+func PartitionCtx(ctx context.Context, gr *graph.Graph, nparts int, opt Options) (*partition.Partition, error) {
+	n := gr.NumVertices()
+	if nparts < 1 {
+		return nil, fmt.Errorf("metis: nparts must be >= 1, got %d", nparts)
+	}
+	if nparts > n {
+		return nil, fmt.Errorf("metis: cannot split %d vertices into %d parts", n, nparts)
+	}
+	opt = opt.withDefaults()
+	stop := &stopper{ctx: ctx}
+	if stop.stopped() {
+		return nil, fmt.Errorf("metis: %v partition of %d vertices into %d parts cancelled: %w",
+			opt.Method, n, nparts, ctx.Err())
+	}
+	wg := fromGraph(gr)
+
+	var assign []int32
+	switch opt.Method {
+	case RB:
+		assign = make([]int32, n)
+		verts := make([]int32, n)
+		for i := range verts {
+			verts[i] = int32(i)
+		}
+		runRB(wg, verts, 0, nparts, assign, uint64(opt.Seed), opt, stop)
+	case KWay, KWayVol:
+		rng := newPRNG(splitmix64(uint64(opt.Seed)))
+		assign = kwayPartition(wg, nparts, rng, opt, stop)
+	default:
+		return nil, fmt.Errorf("metis: unknown method %d", opt.Method)
+	}
+	if stop.stopped() {
+		return nil, fmt.Errorf("metis: %v partition of %d vertices into %d parts cancelled: %w",
+			opt.Method, n, nparts, ctx.Err())
+	}
+	return partition.FromAssignment(assign, nparts)
+}

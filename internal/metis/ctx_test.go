@@ -1,0 +1,60 @@
+package metis
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestPartitionCtxMatchesPartition: an un-cancelled PartitionCtx must be
+// byte-identical to Partition — the cooperative deadline polls never touch
+// the RNG streams.
+func TestPartitionCtxMatchesPartition(t *testing.T) {
+	g := meshGraph(t, 8)
+	for _, m := range []Method{RB, KWay, KWayVol} {
+		opt := Options{Method: m, Seed: 7}
+		plain, err := Partition(g, 24, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctxed, err := PartitionCtx(context.Background(), g, 24, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, ca := plain.Assignment(), ctxed.Assignment()
+		for v := range pa {
+			if pa[v] != ca[v] {
+				t.Fatalf("%v: assignment differs at vertex %d: %d vs %d", m, v, pa[v], ca[v])
+			}
+		}
+	}
+}
+
+func TestPartitionCtxExpiredDeadline(t *testing.T) {
+	g := meshGraph(t, 8)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	for _, m := range []Method{RB, KWay, KWayVol} {
+		p, err := PartitionCtx(ctx, g, 24, Options{Method: m, Seed: 1})
+		if err == nil {
+			t.Fatalf("%v: expired deadline accepted", m)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%v: error %v does not unwrap to DeadlineExceeded", m, err)
+		}
+		if p != nil {
+			t.Errorf("%v: partial partition returned on cancellation", m)
+		}
+	}
+}
+
+func TestPartitionCtxCancelled(t *testing.T) {
+	g := meshGraph(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := PartitionCtx(ctx, g, 8, Options{Method: KWay, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+}

@@ -17,7 +17,7 @@ package metis
 // The returned value is the weighted edgecut of the refined bisection —
 // computed as a byproduct of the last pass's gain seeding, so callers that
 // rank bisections (initialBisection) need no separate O(E) cut scan.
-func fmRefine(g *wgraph, side []int8, target, band float64, maxIters int, ws *workspace) int64 {
+func fmRefine(g *wgraph, side []int8, target, band float64, maxIters int, ws *workspace, stop *stopper) int64 {
 	n := g.n()
 	if n < 2 {
 		return 0
@@ -155,6 +155,9 @@ func fmRefine(g *wgraph, side []int8, target, band float64, maxIters int, ws *wo
 
 	var cut int64
 	for iter := 0; iter < maxIters; iter++ {
+		if stop.stopped() {
+			break // deadline poll per refinement pass
+		}
 		// Seed the buckets with the boundary only (METIS's boundary FM):
 		// interior vertices can never be the best cut move, and inserting all
 		// n of them made every pass pay O(n) bucket traffic for vertices that

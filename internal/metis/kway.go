@@ -5,7 +5,7 @@ package metis
 // (parallel) recursive bisection, then project back while running greedy
 // K-way refinement at every level. The refinement objective is the edgecut
 // for Method KWay and the total communication volume for Method KWayVol.
-func kwayPartition(g *wgraph, nparts int, rng *prng, opt Options) []int32 {
+func kwayPartition(g *wgraph, nparts int, rng *prng, opt Options, stop *stopper) []int32 {
 	ws := getWS()
 	defer putWS(ws)
 	// Keep enough coarse vertices to seed every part.
@@ -13,7 +13,7 @@ func kwayPartition(g *wgraph, nparts int, rng *prng, opt Options) []int32 {
 	if coarsenTo < 4*nparts {
 		coarsenTo = 4 * nparts
 	}
-	levels, coarsest := coarsen(g, coarsenTo, rng, ws)
+	levels, coarsest := coarsen(g, coarsenTo, rng, ws, stop)
 
 	// Initial K-way partition of the coarsest graph via recursive bisection,
 	// on an RNG stream derived from (but independent of) the main seed so
@@ -23,7 +23,7 @@ func kwayPartition(g *wgraph, nparts int, rng *prng, opt Options) []int32 {
 	for i := range verts {
 		verts[i] = int32(i)
 	}
-	runRB(coarsest, verts, 0, nparts, assign, childSeed(uint64(opt.Seed), 2), opt)
+	runRB(coarsest, verts, 0, nparts, assign, childSeed(uint64(opt.Seed), 2), opt, stop)
 
 	refine := kwayRefineCut
 	if opt.Method == KWayVol {
@@ -36,7 +36,7 @@ func kwayPartition(g *wgraph, nparts int, rng *prng, opt Options) []int32 {
 		}
 	}
 	maxPart := maxPartWeight(g.totalVWgt(), nparts, opt.Imbalance, maxVW)
-	refine(coarsest, assign, nparts, maxPart, opt.RefineIters, rng, ws)
+	refine(coarsest, assign, nparts, maxPart, opt.RefineIters, rng, ws, stop)
 
 	for i := len(levels) - 1; i >= 0; i-- {
 		lv := levels[i]
@@ -45,7 +45,10 @@ func kwayPartition(g *wgraph, nparts int, rng *prng, opt Options) []int32 {
 			fine[v] = assign[lv.cmap[v]]
 		}
 		assign = fine
-		refine(lv.fine, assign, nparts, maxPart, opt.RefineIters, rng, ws)
+		if stop.stopped() {
+			break // deadline poll per uncoarsening level
+		}
+		refine(lv.fine, assign, nparts, maxPart, opt.RefineIters, rng, ws, stop)
 	}
 	return assign
 }
@@ -196,7 +199,7 @@ func boundaryQueue(g *wgraph, assign []int32, ws *workspace, dst []int32) []int3
 // re-enqueued for the next pass. Per-vertex connectivity is accumulated in
 // an O(nparts) scratch array reset through a touched list, so one pass costs
 // O(boundary + moved·deg) instead of the former full-graph rescan.
-func kwayRefineCut(g *wgraph, assign []int32, nparts int, maxPart int64, iters int, rng *prng, ws *workspace) {
+func kwayRefineCut(g *wgraph, assign []int32, nparts int, maxPart int64, iters int, rng *prng, ws *workspace, stop *stopper) {
 	n := g.n()
 	pwgt := growI64(ws.pwgt, nparts)
 	ws.pwgt = pwgt
@@ -219,6 +222,9 @@ func kwayRefineCut(g *wgraph, assign []int32, nparts int, maxPart int64, iters i
 	full := true
 
 	for iter := 0; iter < iters && len(queue) > 0; iter++ {
+		if stop.stopped() {
+			break // deadline poll per refinement pass
+		}
 		rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
 		moved := 0
 		next = next[:0]
@@ -325,7 +331,7 @@ func kwayRefineCut(g *wgraph, assign []int32, nparts int, maxPart int64, iters i
 // maps, and the visit order is boundary-driven like kwayRefineCut — with a
 // two-hop re-enqueue, because a move changes the exact volume evaluation of
 // everything within distance two.
-func kwayRefineVol(g *wgraph, assign []int32, nparts int, maxPart int64, iters int, rng *prng, ws *workspace) {
+func kwayRefineVol(g *wgraph, assign []int32, nparts int, maxPart int64, iters int, rng *prng, ws *workspace, stop *stopper) {
 	n := g.n()
 	pwgt := growI64(ws.pwgt, nparts)
 	ws.pwgt = pwgt
@@ -374,6 +380,9 @@ func kwayRefineVol(g *wgraph, assign []int32, nparts int, maxPart int64, iters i
 	full := true
 
 	for iter := 0; iter < iters && len(queue) > 0; iter++ {
+		if stop.stopped() {
+			break // deadline poll per refinement pass
+		}
 		rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
 		moved := 0
 		next = next[:0]

@@ -30,7 +30,7 @@
 package metis
 
 import (
-	"fmt"
+	"context"
 
 	"sfccube/internal/graph"
 	"sfccube/internal/partition"
@@ -115,33 +115,10 @@ func (o Options) withDefaults() Options {
 }
 
 // Partition divides graph gr into nparts parts using the configured method.
+// It is PartitionCtx without a deadline; see PartitionCtx for the
+// cancellable variant used by the resilience layer.
 func Partition(gr *graph.Graph, nparts int, opt Options) (*partition.Partition, error) {
-	n := gr.NumVertices()
-	if nparts < 1 {
-		return nil, fmt.Errorf("metis: nparts must be >= 1, got %d", nparts)
-	}
-	if nparts > n {
-		return nil, fmt.Errorf("metis: cannot split %d vertices into %d parts", n, nparts)
-	}
-	opt = opt.withDefaults()
-	wg := fromGraph(gr)
-
-	var assign []int32
-	switch opt.Method {
-	case RB:
-		assign = make([]int32, n)
-		verts := make([]int32, n)
-		for i := range verts {
-			verts[i] = int32(i)
-		}
-		runRB(wg, verts, 0, nparts, assign, uint64(opt.Seed), opt)
-	case KWay, KWayVol:
-		rng := newPRNG(splitmix64(uint64(opt.Seed)))
-		assign = kwayPartition(wg, nparts, rng, opt)
-	default:
-		return nil, fmt.Errorf("metis: unknown method %d", opt.Method)
-	}
-	return partition.FromAssignment(assign, nparts)
+	return PartitionCtx(context.Background(), gr, nparts, opt)
 }
 
 // wgraph is the mutable working representation used during multilevel

@@ -216,7 +216,7 @@ func TestWeightedVertices(t *testing.T) {
 func TestCoarsenPreservesTotals(t *testing.T) {
 	g := fromGraph(gridGraph(10, 10))
 	rng := newPRNG(3)
-	levels, coarsest := coarsen(g, 10, rng, getWS())
+	levels, coarsest := coarsen(g, 10, rng, getWS(), nil)
 	if len(levels) == 0 {
 		t.Fatal("no coarsening happened on a 100-vertex grid")
 	}
@@ -313,7 +313,7 @@ func TestFMImprovesBadBisection(t *testing.T) {
 		side[i] = int8(i % 2)
 	}
 	before := cutOf(g, side)
-	fmRefine(g, side, 32, 0, 10, getWS())
+	fmRefine(g, side, 32, 0, 10, getWS(), nil)
 	after := cutOf(g, side)
 	if after >= before {
 		t.Fatalf("FM did not improve cut: %d -> %d", before, after)

@@ -1,0 +1,158 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFallbackFirstLinkWins(t *testing.T) {
+	res, err := PartitionWithFallback(context.Background(), FallbackSpec{Ne: 4, NProcs: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategyKWay || len(res.Attempts) != 0 {
+		t.Fatalf("got strategy %s with %d attempts, want clean KWAY", res.Strategy, len(res.Attempts))
+	}
+	if got := res.Partition.NumParts(); got != 6 {
+		t.Errorf("partition has %d parts, want 6", got)
+	}
+	if res.String() != "KWAY" {
+		t.Errorf("String() = %q", res.String())
+	}
+}
+
+// TestFallbackExpiredDeadline: with the deadline already blown, the METIS
+// strategies must fail fast and the chain must land on SFC, which
+// deliberately ignores the expired context.
+func TestFallbackExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	res, err := PartitionWithFallback(ctx, FallbackSpec{Ne: 4, NProcs: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategySFC {
+		t.Fatalf("got strategy %s, want SFC", res.Strategy)
+	}
+	if len(res.Attempts) != 2 {
+		t.Fatalf("got %d attempts %v, want KWAY and RB", len(res.Attempts), res.Attempts)
+	}
+	for _, a := range res.Attempts {
+		if !errors.Is(a.Err, context.DeadlineExceeded) {
+			t.Errorf("%s attempt error %v does not unwrap to DeadlineExceeded", a.Strategy, a.Err)
+		}
+	}
+	if got := res.String(); got != "KWAY→RB→SFC" {
+		t.Errorf("String() = %q, want KWAY→RB→SFC", got)
+	}
+}
+
+// TestFallbackUnsupportedNe: Ne=5 has no 2^n 3^m factorisation, so the SFC
+// link must fail with a typed *UnsupportedNeError and the serpentine
+// ordering (any Ne) must take over.
+func TestFallbackUnsupportedNe(t *testing.T) {
+	res, err := PartitionWithFallback(context.Background(), FallbackSpec{
+		Ne: 5, NProcs: 10, Seed: 1, Chain: RepartitionChain,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategySerpentine {
+		t.Fatalf("got strategy %s, want SERPENTINE", res.Strategy)
+	}
+	if len(res.Attempts) != 1 {
+		t.Fatalf("attempts: %v", res.Attempts)
+	}
+	var une *UnsupportedNeError
+	if !errors.As(res.Attempts[0].Err, &une) || une.Ne != 5 {
+		t.Errorf("SFC attempt error %v, want *UnsupportedNeError{Ne:5}", res.Attempts[0].Err)
+	}
+	counts := res.Partition.Counts()
+	for q, c := range counts {
+		if c == 0 {
+			t.Errorf("serpentine left part %d empty", q)
+		}
+	}
+}
+
+// TestFallbackExhausted: an impossible balance demand fails every link, with
+// the METIS links reseeded the configured number of times first.
+func TestFallbackExhausted(t *testing.T) {
+	// 24 elements into 5 parts cannot balance perfectly, and MaxLB below
+	// the unavoidable imbalance rejects everything.
+	_, err := PartitionWithFallback(context.Background(), FallbackSpec{
+		Ne: 2, NProcs: 5, Seed: 1, MaxLB: 1e-12, SeedRetries: 2,
+	})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("got %v, want *ExhaustedError", err)
+	}
+	// KWAY×(1+2 retries) + RB×3 + SFC + SERPENTINE = 8 attempts.
+	if len(ex.Attempts) != 8 {
+		t.Fatalf("got %d attempts: %v", len(ex.Attempts), ex)
+	}
+	for _, a := range ex.Attempts {
+		var be *BalanceError
+		if !errors.As(a.Err, &be) {
+			t.Errorf("%s attempt: %v, want *BalanceError", a.Strategy, a.Err)
+		}
+	}
+	// Reseeded retries must actually use fresh seeds.
+	if ex.Attempts[0].Seed == ex.Attempts[1].Seed {
+		t.Error("KWAY retry reused the failed seed")
+	}
+}
+
+func TestFallbackAcceptAnyBalance(t *testing.T) {
+	// MaxLB < 0 accepts the first partition that is merely non-degenerate.
+	res, err := PartitionWithFallback(context.Background(), FallbackSpec{
+		Ne: 2, NProcs: 5, Seed: 1, MaxLB: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategyKWay {
+		t.Errorf("got %s, want KWAY", res.Strategy)
+	}
+}
+
+func TestFallbackDeterministic(t *testing.T) {
+	spec := FallbackSpec{Ne: 4, NProcs: 7, Seed: 42}
+	a, err := PartitionWithFallback(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PartitionWithFallback(context.Background(), FallbackSpec{Ne: 4, NProcs: 7, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Strategy != b.Strategy || a.Seed != b.Seed {
+		t.Fatalf("outcomes differ: %s/%d vs %s/%d", a.Strategy, a.Seed, b.Strategy, b.Seed)
+	}
+	pa, pb := a.Partition.Assignment(), b.Partition.Assignment()
+	for v := range pa {
+		if pa[v] != pb[v] {
+			t.Fatalf("assignment differs at element %d", v)
+		}
+	}
+}
+
+func TestFallbackBadArgs(t *testing.T) {
+	if _, err := PartitionWithFallback(context.Background(), FallbackSpec{Ne: 0, NProcs: 1}); err == nil {
+		t.Error("Ne=0 accepted")
+	}
+	if _, err := PartitionWithFallback(context.Background(), FallbackSpec{Ne: 2, NProcs: 25}); err == nil {
+		t.Error("NProcs > K accepted")
+	}
+	res, err := PartitionWithFallback(context.Background(), FallbackSpec{
+		Ne: 2, NProcs: 2, Chain: []Strategy{"BOGUS", StrategySFC},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategySFC || len(res.Attempts) != 1 {
+		t.Errorf("unknown strategy not skipped: %v", res)
+	}
+}

@@ -1,0 +1,102 @@
+package seam
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Typed construction and run-time errors of the in-process SEAM runner.
+//
+// NewRunner validates its inputs up front and reports malformed
+// configurations through the three construction error types below
+// (AssignLengthError, RankRangeError, EmptyRankError) instead of the late
+// index panics or silent misbehaviour a bad assignment used to cause.
+// RunCtx surfaces run-time failures as RankPanicError (a worker panicked
+// while executing a rank, with rank attribution) or TimeoutError (the
+// context was cancelled or its deadline expired mid-step, with the ranks
+// that were in flight). All types support errors.As, and TimeoutError
+// unwraps to the context error so errors.Is(err, context.DeadlineExceeded)
+// works through it.
+
+// AssignLengthError reports an assignment slice whose length does not match
+// the element count of the grid.
+type AssignLengthError struct {
+	Got, Want int
+}
+
+func (e *AssignLengthError) Error() string {
+	return fmt.Sprintf("seam: %d assignments for %d elements", e.Got, e.Want)
+}
+
+// RankRangeError reports an element assigned to a rank outside [0, NRanks).
+type RankRangeError struct {
+	Elem   int
+	Rank   int32
+	NRanks int
+}
+
+func (e *RankRangeError) Error() string {
+	return fmt.Sprintf("seam: element %d assigned to rank %d, want [0,%d)", e.Elem, e.Rank, e.NRanks)
+}
+
+// EmptyRankError reports ranks that own no elements. An empty rank would
+// silently idle through every phase (skewing load-balance and busy-time
+// accounting) and divides several per-rank statistics by zero downstream, so
+// NewRunner rejects it up front; shrink NRanks or re-partition instead.
+type EmptyRankError struct {
+	Ranks  []int
+	NRanks int
+}
+
+func (e *EmptyRankError) Error() string {
+	parts := make([]string, len(e.Ranks))
+	for i, r := range e.Ranks {
+		parts[i] = fmt.Sprintf("%d", r)
+	}
+	return fmt.Sprintf("seam: %d of %d ranks own no elements (ranks %s)",
+		len(e.Ranks), e.NRanks, strings.Join(parts, ","))
+}
+
+// RankPanicError reports a panic recovered from a worker goroutine while it
+// was executing the given rank's portion of the given step and RK stage.
+// Value is the recovered panic value.
+type RankPanicError struct {
+	Step, Stage, Rank int
+	Value             any
+}
+
+func (e *RankPanicError) Error() string {
+	return fmt.Sprintf("seam: rank %d panicked at step %d stage %d: %v", e.Rank, e.Step, e.Stage, e.Value)
+}
+
+// RankPos identifies where a rank's work stood when a run was aborted.
+type RankPos struct {
+	Rank, Step, Stage int
+}
+
+// TimeoutError reports a run aborted by context cancellation or deadline
+// expiry. InFlight lists the ranks that had claimed work but not finished it
+// at abort time (sorted by rank) — under a stall, the slow rank is among
+// them. It unwraps to the context's error.
+type TimeoutError struct {
+	InFlight []RankPos
+	Cause    error
+}
+
+func (e *TimeoutError) Error() string {
+	if len(e.InFlight) == 0 {
+		return fmt.Sprintf("seam: run aborted: %v", e.Cause)
+	}
+	parts := make([]string, len(e.InFlight))
+	for i, p := range e.InFlight {
+		parts[i] = fmt.Sprintf("rank %d (step %d stage %d)", p.Rank, p.Step, p.Stage)
+	}
+	return fmt.Sprintf("seam: run aborted with %s in flight: %v", strings.Join(parts, ", "), e.Cause)
+}
+
+func (e *TimeoutError) Unwrap() error { return e.Cause }
+
+func sortRankPos(ps []RankPos) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Rank < ps[j].Rank })
+}

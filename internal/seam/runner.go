@@ -1,6 +1,7 @@
 package seam
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -60,11 +61,14 @@ type Runner struct {
 }
 
 // NewRunner distributes the elements of sw over nranks ranks following
-// assign (element id -> rank).
+// assign (element id -> rank). Malformed configurations are rejected up
+// front with typed errors: AssignLengthError when assign does not cover the
+// grid, RankRangeError when any element names a rank outside [0, nranks),
+// and EmptyRankError when a rank ends up owning no elements.
 func NewRunner(sw *ShallowWater, assign []int32, nranks int) (*Runner, error) {
 	k := sw.G.NumElems()
 	if len(assign) != k {
-		return nil, fmt.Errorf("seam: %d assignments for %d elements", len(assign), k)
+		return nil, &AssignLengthError{Got: len(assign), Want: k}
 	}
 	if nranks < 1 {
 		return nil, fmt.Errorf("seam: nranks must be >= 1, got %d", nranks)
@@ -78,9 +82,18 @@ func NewRunner(sw *ShallowWater, assign []int32, nranks int) (*Runner, error) {
 	}
 	for e, rk := range assign {
 		if rk < 0 || int(rk) >= nranks {
-			return nil, fmt.Errorf("seam: element %d assigned to rank %d, want [0,%d)", e, rk, nranks)
+			return nil, &RankRangeError{Elem: e, Rank: rk, NRanks: nranks}
 		}
 		r.elemsOf[rk] = append(r.elemsOf[rk], int32(e))
+	}
+	var empty []int
+	for rk, es := range r.elemsOf {
+		if len(es) == 0 {
+			empty = append(empty, rk)
+		}
+	}
+	if len(empty) > 0 {
+		return nil, &EmptyRankError{Ranks: empty, NRanks: nranks}
 	}
 	npts := sw.G.PointsPerElem()
 	for i, sn := range sw.Dss.shared {
@@ -108,6 +121,11 @@ func (r *Runner) NumOwned() []int {
 	return out
 }
 
+// Owned returns the element ids owned by rank rk, in ascending order. The
+// slice is owned by the runner; callers must not modify it. Fault injectors
+// use it to target a specific rank's state deterministically.
+func (r *Runner) Owned(rk int) []int32 { return r.elemsOf[rk] }
+
 // BytesPerStep returns, per rank, the communication bytes of one full RK4
 // time step: 4 stages x 3 prognostic fields x one DSS application.
 func (r *Runner) BytesPerStep() []int64 {
@@ -121,13 +139,17 @@ func (r *Runner) BytesPerStep() []int64 {
 // barrier is a reusable cyclic barrier for n goroutines. The last arriver
 // may run a prepare action (under the barrier lock, before releasing the
 // others), which the scheduler uses to reset the work-stealing counter
-// between phases.
+// between phases. The barrier is abortable: after abort() every current and
+// future wait returns false immediately, which is how a cancelled or
+// panicked run releases the surviving workers without deadlocking the
+// cyclic rendezvous.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   uint64
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	gen     uint64
+	aborted bool
 }
 
 func newBarrier(n int) *barrier {
@@ -136,12 +158,28 @@ func newBarrier(n int) *barrier {
 	return b
 }
 
-func (b *barrier) wait() { b.waitThen(nil) }
+func (b *barrier) wait() bool { return b.waitThen(nil) }
+
+// abort permanently releases the barrier: all waiters wake and every wait
+// from now on returns false.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.gen++
+	b.count = 0
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
 
 // waitThen blocks until all n goroutines arrive; the last arriver runs
-// prepare (if non-nil) before any goroutine is released.
-func (b *barrier) waitThen(prepare func()) {
+// prepare (if non-nil) before any goroutine is released. It returns false
+// when the barrier was aborted (before or during the wait), true otherwise.
+func (b *barrier) waitThen(prepare func()) bool {
 	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		return false
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -155,8 +193,13 @@ func (b *barrier) waitThen(prepare func()) {
 		for gen == b.gen {
 			b.cond.Wait()
 		}
+		if b.aborted {
+			b.mu.Unlock()
+			return false
+		}
 	}
 	b.mu.Unlock()
+	return true
 }
 
 // applyRank performs rank rk's portion of a DSS application on the field
@@ -187,13 +230,114 @@ func (r *Runner) applyVectorRank(v1, v2 []float64, rk int) {
 // BusyTime is reset at the start of every call and, on return, holds each
 // rank's compute time for this call only.
 func (r *Runner) Run(steps int, dt float64) time.Duration {
+	d, _ := r.runSteps(nil, steps, dt)
+	return d
+}
+
+// RunCtx is Run with cancellation, fault-injection hooks, and worker panic
+// recovery — the entry point of the resilience layer (see
+// internal/resilience). It advances the model by steps RK4 steps of size dt
+// and is bitwise identical to Run when it completes without error.
+//
+//   - If ctx is cancelled or its deadline expires mid-run, the parallel
+//     section is aborted and a *TimeoutError (unwrapping to ctx.Err()) is
+//     returned, listing the ranks whose work was in flight — under a rank
+//     stall, the stalled rank is among them.
+//   - If a worker goroutine panics while executing a rank (including inside
+//     an injected hook), the panic is recovered into a *RankPanicError with
+//     step/stage/rank attribution and the remaining workers are released.
+//   - hooks, when non-nil, is invoked by the owning worker at defined points
+//     of the schedule; see StepHooks.
+//
+// On a non-nil error the prognostic state may be torn across ranks (some
+// ranks committed further than others); callers are expected to roll back
+// to a checkpoint before resuming.
+func (r *Runner) RunCtx(ctx context.Context, steps int, dt float64, hooks *StepHooks) (time.Duration, error) {
+	ctl := &runControl{ctx: ctx, hooks: hooks}
+	if err := ctx.Err(); err != nil {
+		return 0, &TimeoutError{Cause: err}
+	}
+	return r.runSteps(ctl, steps, dt)
+}
+
+// StepHooks are optional callbacks threaded through RunCtx for fault
+// injection and instrumentation. All callbacks run on the worker goroutine
+// that owns the rank at that moment, so they may freely touch the rank's
+// own element blocks (and nothing else) without racing the other ranks.
+type StepHooks struct {
+	// BeforeRankStage runs before rank's element-local prologue + RHS of
+	// the given RK stage (0..3) of the given step (0-based within this
+	// call). A panic raised here is attributed to the rank; sleeping here
+	// simulates a stalled rank.
+	BeforeRankStage func(step, stage, rank int)
+}
+
+// runControl carries the cancellation/recovery state of one RunCtx call.
+// A nil *runControl (the plain Run path) compiles to a handful of
+// predictable nil checks in the hot loops.
+type runControl struct {
+	ctx   context.Context
+	hooks *StepHooks
+
+	stop    atomic.Bool // set before the barrier is aborted
+	errMu   sync.Mutex
+	err     error
+	working []atomic.Int64 // per-worker packed RankPos, -1 when idle
+}
+
+func (c *runControl) stopped() bool { return c != nil && c.stop.Load() }
+
+// fail records the first error and flags the run as stopping. It returns
+// true for the caller that won the race (and should abort the barrier).
+func (c *runControl) fail(err error) bool {
+	c.errMu.Lock()
+	first := c.err == nil
+	if first {
+		c.err = err
+	}
+	c.errMu.Unlock()
+	c.stop.Store(true)
+	return first
+}
+
+func (c *runControl) firstErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+// packPos encodes (step, stage, rank) into one int64: rank < 2^24 (K is at
+// most a few thousand), stage < 4, step < 2^32.
+func packPos(step, stage, rank int) int64 {
+	return int64(step)<<28 | int64(stage)<<24 | int64(rank)
+}
+
+func unpackPos(p int64) RankPos {
+	return RankPos{Rank: int(p & 0xffffff), Stage: int(p >> 24 & 0xf), Step: int(p >> 28)}
+}
+
+// inFlight snapshots the ranks currently claimed by workers, sorted by rank.
+func (c *runControl) inFlight() []RankPos {
+	var out []RankPos
+	for i := range c.working {
+		if p := c.working[i].Load(); p >= 0 {
+			out = append(out, unpackPos(p))
+		}
+	}
+	sortRankPos(out)
+	return out
+}
+
+// runSteps is the shared body of Run and RunCtx; ctl is nil on the plain
+// Run path.
+func (r *Runner) runSteps(ctl *runControl, steps int, dt float64) (time.Duration, error) {
 	sw := r.SW
 	g := sw.G
 	for i := range r.BusyTime {
 		r.BusyTime[i] = 0
 	}
 	if steps <= 0 {
-		return 0
+		return 0, nil
 	}
 
 	nw := r.Workers
@@ -206,6 +350,27 @@ func (r *Runner) Run(steps int, dt float64) time.Duration {
 	bar := newBarrier(nw)
 	var next atomic.Int32
 	resetNext := func() { next.Store(0) }
+
+	// Cancellation watchdog: the workers never block on the context (a rank
+	// mid-stall or parked at the barrier cannot poll), so a dedicated
+	// goroutine converts ctx expiry into a barrier abort, which releases
+	// every parked worker; workers mid-claim notice ctl.stopped() instead.
+	var watchDone chan struct{}
+	if ctl != nil {
+		ctl.working = make([]atomic.Int64, nw)
+		for i := range ctl.working {
+			ctl.working[i].Store(-1)
+		}
+		watchDone = make(chan struct{})
+		go func() {
+			select {
+			case <-ctl.ctx.Done():
+				ctl.fail(&TimeoutError{InFlight: ctl.inFlight(), Cause: ctl.ctx.Err()})
+				bar.abort()
+			case <-watchDone:
+			}
+		}()
+	}
 
 	stageCoef := [3]float64{dt / 2, dt / 2, dt}
 	accCoef := [4]float64{dt / 6, dt / 3, dt / 3, dt / 6}
@@ -243,8 +408,21 @@ func (r *Runner) Run(steps int, dt float64) time.Duration {
 	start := time.Now()
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var cur RankPos // last claimed position, for panic attribution
+			if ctl != nil {
+				defer func() {
+					if v := recover(); v != nil {
+						// If a previous failure won the race it already
+						// aborted the barrier; only the first aborts.
+						if ctl.fail(&RankPanicError{Step: cur.Step, Stage: cur.Stage, Rank: cur.Rank, Value: v}) {
+							bar.abort()
+						}
+						ctl.working[w].Store(-1)
+					}
+				}()
+			}
 			scr := newRHSScratch(npts)
 			for s := 0; s < steps; s++ {
 				for st := 0; st < 4; st++ {
@@ -254,9 +432,19 @@ func (r *Runner) Run(steps int, dt float64) time.Duration {
 						curV1, curV2, curP = sv1, sv2, sp
 					}
 					for {
+						if ctl.stopped() {
+							return
+						}
 						rk := next.Add(1) - 1
 						if rk >= nRanks {
 							break
+						}
+						if ctl != nil {
+							cur = RankPos{Rank: int(rk), Step: s, Stage: st}
+							ctl.working[w].Store(packPos(s, st, int(rk)))
+							if ctl.hooks != nil && ctl.hooks.BeforeRankStage != nil {
+								ctl.hooks.BeforeRankStage(s, st, int(rk))
+							}
 						}
 						busy := time.Now()
 						if st == 0 {
@@ -285,38 +473,69 @@ func (r *Runner) Run(steps int, dt float64) time.Duration {
 						}
 						sw.rhsElems(r.elemsOf[rk], scr, curV1, curV2, curP, k1v1, k1v2, k1p)
 						r.BusyTime[rk] += time.Since(busy)
+						if ctl != nil {
+							ctl.working[w].Store(-1)
+						}
 					}
-					bar.waitThen(resetNext) // all tendencies written
+					if !bar.waitThen(resetNext) { // all tendencies written
+						return
+					}
 					// Phase B: DSS assembly of owned shared nodes.
 					for {
+						if ctl.stopped() {
+							return
+						}
 						rk := next.Add(1) - 1
 						if rk >= nRanks {
 							break
+						}
+						if ctl != nil {
+							cur = RankPos{Rank: int(rk), Step: s, Stage: st}
 						}
 						busy := time.Now()
 						r.applyVectorRank(k1v1, k1v2, int(rk))
 						r.applyRank(k1p, int(rk))
 						r.BusyTime[rk] += time.Since(busy)
 					}
-					bar.waitThen(resetNext) // all averaged values visible
+					if !bar.waitThen(resetNext) { // all averaged values visible
+						return
+					}
 				}
 			}
 			// Final epilogue: commit the last stage and step.
 			for {
+				if ctl.stopped() {
+					return
+				}
 				rk := next.Add(1) - 1
 				if rk >= nRanks {
 					break
+				}
+				if ctl != nil {
+					cur = RankPos{Rank: int(rk), Step: steps - 1, Stage: 3}
 				}
 				busy := time.Now()
 				finishStep(rk)
 				r.BusyTime[rk] += time.Since(busy)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
+	if watchDone != nil {
+		close(watchDone)
+	}
+	if ctl != nil {
+		if err := ctl.firstErr(); err != nil {
+			// The parallel section was aborted part-way: the prognostic
+			// slabs may be torn across ranks and the flop meter would lie,
+			// so skip it and surface the typed cause.
+			return elapsed, err
+		}
+	}
 	// Meter the work exactly as the sequential Step does (the runner
 	// performs the same arithmetic, just distributed).
 	sw.Flops += int64(steps) * (4*rhsFlopsShallowWater(g.NumElems(), g.Np) +
 		int64(g.NumElems())*int64(npts)*3*4*4)
-	return time.Since(start)
+	return elapsed, nil
 }

@@ -100,6 +100,18 @@ func NewShallowWater(g *Grid) (*ShallowWater, error) {
 	return sw, nil
 }
 
+// StateSlabs returns the contiguous element-major slabs backing the
+// prognostic fields V1, V2 and Phi (the same memory as the per-element
+// views; point (e, i) lives at offset e*Np*Np + i). Writing through the
+// returned slices mutates the model state. The prognostic slabs plus a step
+// counter are the complete restart state of the integrator: every other
+// internal slab (tendencies, RK stage states, accumulators) is
+// re-initialised at the start of each step, which is what makes
+// checkpoint/restart (internal/resilience) bitwise-exact.
+func (sw *ShallowWater) StateSlabs() (v1, v2, phi []float64) {
+	return sw.v1F, sw.v2F, sw.phiF
+}
+
 // SetState initialises the prognostic fields from a 3D velocity field (m/s,
 // tangent to the sphere) and a geopotential field (m^2/s^2), both functions
 // of position.

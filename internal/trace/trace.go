@@ -18,6 +18,7 @@ package trace
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -78,8 +79,17 @@ func (q *eventQueue) pop() event   { return heap.Pop(q).(event) }
 
 // Simulate runs the event-driven model for one step: computeTime[p] is each
 // processor's element work, msgs are the exchanges, mod supplies latency,
-// adapter bandwidth and node layout.
+// adapter bandwidth and node layout. It is SimulateCtx without a deadline.
 func Simulate(computeTime []float64, msgs []Message, mod machine.Model) (Result, error) {
+	return SimulateCtx(context.Background(), computeTime, msgs, mod)
+}
+
+// SimulateCtx is Simulate with cooperative cancellation: the event loop
+// polls ctx every few thousand events (a large sweep schedules millions),
+// and on expiry returns an error wrapping ctx.Err(). An un-cancelled
+// SimulateCtx is identical to Simulate — the polls do not perturb the
+// deterministic event order.
+func SimulateCtx(ctx context.Context, computeTime []float64, msgs []Message, mod machine.Model) (Result, error) {
 	nproc := len(computeTime)
 	if mod.ProcsPerNode < 1 {
 		return Result{}, fmt.Errorf("trace: ProcsPerNode must be >= 1")
@@ -144,7 +154,16 @@ func Simulate(computeTime []float64, msgs []Message, mod machine.Model) (Result,
 		post(now, evSendStart, p, sendQ[p][nextSend[p]])
 	}
 
+	polled := 0
 	for q.Len() > 0 {
+		if polled++; polled&0xfff == 0 {
+			select {
+			case <-ctx.Done():
+				return Result{}, fmt.Errorf("trace: simulation of %d messages over %d processors cancelled: %w",
+					len(msgs), nproc, ctx.Err())
+			default:
+			}
+		}
 		e := q.pop()
 		switch e.kind {
 		case evComputeDone:
