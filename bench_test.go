@@ -15,6 +15,7 @@ import (
 	"sfccube/internal/machine"
 	"sfccube/internal/mesh"
 	"sfccube/internal/metis"
+	"sfccube/internal/obs"
 	"sfccube/internal/partition"
 	"sfccube/internal/seam"
 )
@@ -305,6 +306,30 @@ func BenchmarkRunnerStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(1, dt)
+	}
+}
+
+// BenchmarkRunnerStepObs is BenchmarkRunnerStep with a live obs.Registry
+// attached: every stage span, DSS assembly, barrier wait and per-rank busy
+// gauge is recorded. The acceptance bar for the observability layer is <=5%
+// overhead versus BenchmarkRunnerStep (and <1% for the default nil-registry
+// path, which BenchmarkRunnerStep itself exercises since instrumentation is
+// compiled in but disabled). Compare the two ns/op medians directly; see
+// BENCH_seam.json (runner_step_obs_ns_per_op) for the recorded trajectory.
+func BenchmarkRunnerStepObs(b *testing.B) {
+	sw, dt := benchSEAM(b)
+	res, err := core.PartitionCubedSphere(core.Config{Ne: 8, NProcs: 384})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := seam.NewRunner(sw, res.Partition.Assignment(), 384)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.Instrument(obs.NewRegistry(), nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Run(1, dt)

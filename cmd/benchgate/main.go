@@ -1,0 +1,254 @@
+// Command benchgate compares `go test -bench` output against the recorded
+// baselines in BENCH_seam.json / BENCH_metis.json and fails when a gated
+// benchmark regresses past the tolerance.
+//
+// It reads benchmark output (one or more -count repetitions) from stdin or
+// -input, takes the median ns/op per benchmark, maps benchmark names onto
+// the baseline keys of the newest entry in each -baseline file, and writes
+// a machine-readable delta report with -out. Benchmarks in -gate fail the
+// run (exit 1) when slower than baseline*(1+tolerance); everything else is
+// report-only, so the noisy long tail cannot block a merge.
+//
+// Usage (what the CI bench-gate job runs):
+//
+//	go test -run '^$' -bench 'BenchmarkRunnerStep$' -benchtime 30x -count 3 . > seam.txt
+//	go test ./internal/metis -run '^$' -bench 'K384P96$' -benchtime 10x -count 3 >> seam.txt
+//	benchgate -input seam.txt -baseline BENCH_seam.json -baseline BENCH_metis.json \
+//	    -gate BenchmarkRunnerStep,BenchmarkRBK384P96 -tolerance 0.20 -out bench-delta.json
+//
+// See TESTING.md ("Benchmark gate") for the tolerance and baseline-refresh
+// policy.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// keyOf maps benchmark function names to the ns/op keys used by the
+// baseline JSON entries. Benchmarks without a mapping are reported with an
+// empty key and never gated.
+var keyOf = map[string]string{
+	"BenchmarkRunnerStep":      "runner_step_ns_per_op",
+	"BenchmarkRunnerStepObs":   "runner_step_obs_ns_per_op",
+	"BenchmarkSEAMStep":        "seq_step_ns_per_op",
+	"BenchmarkRHS":             "rhs_ns_per_op",
+	"BenchmarkDSSApply":        "dss_apply_scalar_plus_vector_ns_per_op",
+	"BenchmarkRBK384P96":       "rb_k384_p96_ns_per_op",
+	"BenchmarkKWayK384P96":     "kway_k384_p96_ns_per_op",
+	"BenchmarkKWayVolK384P96":  "kwayvol_k384_p96_ns_per_op",
+	"BenchmarkRBK13824P768":    "rb_k13824_p768_ns_per_op",
+	"BenchmarkKWayK13824P768":  "kway_k13824_p768_ns_per_op",
+	"BenchmarkKWayK13824P1536": "kway_k13824_p1536_ns_per_op",
+	"BenchmarkRBK55296P3072":   "rb_k55296_p3072_ns_per_op",
+	"BenchmarkKWayK55296P3072": "kway_k55296_p3072_ns_per_op",
+}
+
+// Result is one benchmark's comparison in the delta artifact.
+type Result struct {
+	Benchmark  string  `json:"benchmark"`
+	Key        string  `json:"key,omitempty"`
+	Samples    int     `json:"samples"`
+	MedianNs   float64 `json:"median_ns_per_op"`
+	BaselineNs float64 `json:"baseline_ns_per_op,omitempty"`
+	Ratio      float64 `json:"ratio,omitempty"` // measured / baseline
+	Gated      bool    `json:"gated"`
+	Regressed  bool    `json:"regressed"`
+}
+
+// Report is the delta artifact written with -out.
+type Report struct {
+	Tolerance float64  `json:"tolerance"`
+	Results   []Result `json:"results"`
+	// Unmatched lists benchmarks whose median was measured but which have
+	// no baseline key (new benchmarks, or baseline files not passed).
+	Unmatched []string `json:"unmatched,omitempty"`
+	Failed    bool     `json:"failed"`
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var baselines multiFlag
+	flag.Var(&baselines, "baseline", "baseline JSON file (repeatable); the newest entries[] element is the reference")
+	input := flag.String("input", "-", "go test -bench output to read ('-' = stdin)")
+	tol := flag.Float64("tolerance", 0.20, "allowed slowdown fraction for gated benchmarks")
+	gate := flag.String("gate", "BenchmarkRunnerStep,BenchmarkRBK384P96", "comma-separated benchmark names that fail the run on regression")
+	out := flag.String("out", "", "write the JSON delta report here (optional)")
+	flag.Parse()
+
+	rep, err := run(baselines, *input, *tol, *gate, *out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if rep.Failed {
+		os.Exit(1)
+	}
+}
+
+func run(baselines []string, input string, tol float64, gate, out string) (*Report, error) {
+	var r io.Reader = os.Stdin
+	if input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	samples, err := parseBench(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no benchmark results in input")
+	}
+	base, err := loadBaselines(baselines)
+	if err != nil {
+		return nil, err
+	}
+	gated := map[string]bool{}
+	for _, g := range strings.Split(gate, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gated[g] = true
+		}
+	}
+
+	rep := &Report{Tolerance: tol}
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res := Result{
+			Benchmark: name,
+			Key:       keyOf[name],
+			Samples:   len(samples[name]),
+			MedianNs:  median(samples[name]),
+			Gated:     gated[name],
+		}
+		ref, ok := base[res.Key]
+		if res.Key == "" || !ok {
+			rep.Unmatched = append(rep.Unmatched, name)
+			res.Gated = false
+		} else {
+			res.BaselineNs = ref
+			res.Ratio = res.MedianNs / ref
+			res.Regressed = res.Ratio > 1+tol
+		}
+		if res.Gated && res.Regressed {
+			rep.Failed = true
+		}
+		rep.Results = append(rep.Results, res)
+		printResult(res)
+	}
+	for name := range gated {
+		if _, ok := samples[name]; !ok {
+			return nil, fmt.Errorf("gated benchmark %s missing from input", name)
+		}
+	}
+
+	if out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	if rep.Failed {
+		fmt.Printf("FAIL: gated benchmark(s) regressed more than %.0f%%\n", tol*100)
+	} else {
+		fmt.Printf("ok: no gated benchmark regressed more than %.0f%%\n", tol*100)
+	}
+	return rep, nil
+}
+
+func printResult(res Result) {
+	status := "report-only"
+	if res.Gated {
+		status = "gated"
+	}
+	if res.BaselineNs == 0 {
+		fmt.Printf("%-28s median %.0f ns/op (%d runs)  [no baseline]\n",
+			res.Benchmark, res.MedianNs, res.Samples)
+		return
+	}
+	fmt.Printf("%-28s median %.0f ns/op (%d runs)  baseline %.0f  ratio %.3f  [%s]\n",
+		res.Benchmark, res.MedianNs, res.Samples, res.BaselineNs, res.Ratio, status)
+}
+
+// benchLine matches e.g. "BenchmarkRunnerStep-4  30  8202355 ns/op" with
+// any extra per-op columns after it.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench collects every ns/op sample per benchmark name (CPU suffix
+// stripped) from go test -bench output.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	samples := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		samples[m[1]] = append(samples[m[1]], v)
+	}
+	return samples, sc.Err()
+}
+
+// loadBaselines merges the ns/op keys of the newest entry of every file.
+func loadBaselines(files []string) (map[string]float64, error) {
+	base := map[string]float64{}
+	for _, file := range files {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		var doc struct {
+			Entries []map[string]any `json:"entries"`
+		}
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", file, err)
+		}
+		if len(doc.Entries) == 0 {
+			return nil, fmt.Errorf("%s: no entries", file)
+		}
+		latest := doc.Entries[len(doc.Entries)-1]
+		for k, v := range latest {
+			if f, ok := v.(float64); ok && strings.HasSuffix(k, "_ns_per_op") {
+				base[k] = f
+			}
+		}
+	}
+	return base, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

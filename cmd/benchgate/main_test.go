@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: sfccube
+BenchmarkRunnerStep-4   	      30	   8300000 ns/op
+BenchmarkRunnerStep-4   	      30	   8100000 ns/op
+BenchmarkRunnerStep-4   	      30	   8200000 ns/op
+BenchmarkRBK384P96-4    	      10	   2600000 ns/op
+BenchmarkKWayK384P96-4  	      10	   3500000 ns/op
+BenchmarkNewThing-4     	     100	     12345 ns/op
+PASS
+`
+
+const sampleBaseline = `{
+  "entries": [
+    {"date": "old", "runner_step_ns_per_op": 999},
+    {"date": "new", "runner_step_ns_per_op": 8202355,
+     "rb_k384_p96_ns_per_op": 2520547, "kway_k384_p96_ns_per_op": 3446416,
+     "notes": "strings are ignored"}
+  ]
+}`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestParseBench: medians per benchmark, CPU suffix stripped, non-bench
+// lines skipped.
+func TestParseBench(t *testing.T) {
+	samples, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(samples["BenchmarkRunnerStep"]); got != 3 {
+		t.Fatalf("RunnerStep samples = %d, want 3", got)
+	}
+	if m := median(samples["BenchmarkRunnerStep"]); m != 8200000 {
+		t.Fatalf("median = %v, want 8200000", m)
+	}
+}
+
+// TestGatePasses: within tolerance, gated benchmarks pass and the report
+// carries ratios against the NEWEST baseline entry.
+func TestGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "bench.txt", sampleBench)
+	bl := write(t, dir, "base.json", sampleBaseline)
+	out := filepath.Join(dir, "delta.json")
+	rep, err := run([]string{bl}, in, 0.20, "BenchmarkRunnerStep,BenchmarkRBK384P96", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatalf("report failed unexpectedly: %+v", rep)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("delta artifact missing: %v", err)
+	}
+	var found bool
+	for _, r := range rep.Results {
+		if r.Benchmark == "BenchmarkRunnerStep" {
+			found = true
+			if !r.Gated || r.BaselineNs != 8202355 || r.Regressed {
+				t.Fatalf("RunnerStep result wrong: %+v", r)
+			}
+		}
+		if r.Benchmark == "BenchmarkNewThing" && (r.Gated || r.BaselineNs != 0) {
+			t.Fatalf("unmatched benchmark mishandled: %+v", r)
+		}
+	}
+	if !found {
+		t.Fatal("RunnerStep missing from report")
+	}
+	if len(rep.Unmatched) != 1 || rep.Unmatched[0] != "BenchmarkNewThing" {
+		t.Fatalf("unmatched = %v", rep.Unmatched)
+	}
+}
+
+// TestGateFailsOnRegression: a gated benchmark 21% over baseline fails;
+// an ungated one at the same ratio does not.
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	slow := "BenchmarkRunnerStep-4 30 9922850 ns/op\nBenchmarkKWayK384P96-4 10 9000000 ns/op\n"
+	in := write(t, dir, "bench.txt", slow)
+	bl := write(t, dir, "base.json", sampleBaseline)
+	rep, err := run([]string{bl}, in, 0.20, "BenchmarkRunnerStep", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed {
+		t.Fatal("21% regression of a gated benchmark must fail")
+	}
+	rep, err = run([]string{bl}, in, 0.20, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatal("with no gated benchmarks the same input must pass")
+	}
+}
+
+// TestGateMissingGatedBenchmark: silence is not a pass — a gated
+// benchmark absent from the input is an error.
+func TestGateMissingGatedBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "bench.txt", "BenchmarkRBK384P96-4 10 2600000 ns/op\n")
+	bl := write(t, dir, "base.json", sampleBaseline)
+	if _, err := run([]string{bl}, in, 0.20, "BenchmarkRunnerStep", ""); err == nil {
+		t.Fatal("missing gated benchmark must be an error")
+	}
+}

@@ -49,7 +49,26 @@ func runAll(run, out string, seed int64, tvSeeds int) error {
 	}
 	exps := []experiment{
 		{"table1", func() (any, error) { return experiments.Table1(), nil }},
-		{"table2", func() (any, error) { return experiments.Table2(seed) }},
+		{"table2", func() (any, error) {
+			if out == "" {
+				return experiments.Table2(seed)
+			}
+			// With an artifact directory, run each cell under its own
+			// metrics registry and dump the per-cell telemetry next to
+			// the CSV.
+			t, tel, err := experiments.Table2Telemetry(seed)
+			if err != nil {
+				return nil, err
+			}
+			b, err := tel.JSON()
+			if err != nil {
+				return nil, err
+			}
+			if err := writeFile(out, "table2-telemetry.json", string(b)+"\n"); err != nil {
+				return nil, err
+			}
+			return t, nil
+		}},
 		{"fig7", func() (any, error) { return experiments.Fig7(seed) }},
 		{"fig8", func() (any, error) { return experiments.Fig8(seed) }},
 		{"fig9", func() (any, error) { return experiments.Fig9(seed) }},

@@ -16,13 +16,26 @@
 //	seamsim -ne 4 -ranks 4 -steps 16 -checkpoint /tmp/ck -checkpoint-every 4
 //	seamsim -ne 4 -ranks 4 -steps 12 -checkpoint /tmp/ck \
 //	    -inject nan@3,rankdeath@5,stall@7 -step-deadline 2s
+//
+// Observability (see DESIGN.md "Observability"): -metrics-addr serves the
+// Prometheus text exposition on /metrics plus the standard /debug/vars and
+// /debug/pprof surfaces; -trace-out writes the structured run trace as
+// JSONL (deterministic with -trace-deterministic):
+//
+//	seamsim -ne 8 -ranks 8 -steps 50 -metrics-addr :8080 -metrics-hold 30s
+//	curl -s localhost:8080/metrics | grep seam_
+//	seamsim -ne 4 -ranks 4 -steps 5 -trace-out run.jsonl -trace-deterministic
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -30,6 +43,7 @@ import (
 	"sfccube/internal/graph"
 	"sfccube/internal/mesh"
 	"sfccube/internal/metis"
+	"sfccube/internal/obs"
 	"sfccube/internal/partition"
 	"sfccube/internal/resilience"
 	"sfccube/internal/seam"
@@ -47,6 +61,10 @@ func main() {
 	inject := flag.String("inject", "", "fault plan, e.g. nan@3,rankdeath@5:2,stall@7,corruptckpt@4,parttimeout@6")
 	injectSeed := flag.Uint64("inject-seed", 1, "seed deriving unspecified fault parameters (replayable)")
 	stepDeadline := flag.Duration("step-deadline", 0, "per-step watchdog deadline (stall detection; 0 disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080 or :0); empty disables")
+	metricsHold := flag.Duration("metrics-hold", 0, "keep the metrics server up this long after the run finishes (for scraping)")
+	traceOut := flag.String("trace-out", "", "write the structured run trace as JSONL to this file")
+	traceDet := flag.Bool("trace-deterministic", false, "record a deterministic trace (logical order, no wall-clock content)")
 	flag.Parse()
 
 	cfg := runConfig{
@@ -54,6 +72,8 @@ func main() {
 		method: *method, seed: *seed,
 		ckDir: *ckDir, ckEvery: *ckEvery,
 		inject: *inject, injectSeed: *injectSeed, stepDeadline: *stepDeadline,
+		metricsAddr: *metricsAddr, metricsHold: *metricsHold,
+		traceOut: *traceOut, traceDet: *traceDet,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "seamsim:", err)
@@ -70,6 +90,74 @@ type runConfig struct {
 	inject                   string
 	injectSeed               uint64
 	stepDeadline             time.Duration
+	metricsAddr              string
+	metricsHold              time.Duration
+	traceOut                 string
+	traceDet                 bool
+}
+
+// serveObs starts the observability HTTP server: Prometheus text on
+// /metrics, the process expvars (plus the registry snapshot under the
+// "sfccube" var) on /debug/vars, and the standard pprof surfaces under
+// /debug/pprof/. It returns the bound address (useful with ":0").
+func serveObs(addr string, reg *obs.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	expvar.Publish("sfccube", expvar.Func(func() any { return reg.Snapshot() }))
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// obsSetup builds the registry/trace pair requested by the flags; either
+// may be nil (disabled). finish writes the trace file and holds the
+// metrics server open per -metrics-hold; call it after the run.
+func obsSetup(cfg runConfig) (reg *obs.Registry, tr *obs.RunTrace, finish func() error, err error) {
+	if cfg.metricsAddr != "" {
+		reg = obs.NewRegistry()
+		addr, err := serveObs(cfg.metricsAddr, reg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		fmt.Printf("metrics: http://%s/metrics (pprof under /debug/pprof/, expvar under /debug/vars)\n", addr)
+	}
+	if cfg.traceOut != "" {
+		tr = obs.NewRunTrace(1 << 16)
+		tr.Deterministic = cfg.traceDet
+	}
+	finish = func() error {
+		if tr != nil {
+			f, err := os.Create(cfg.traceOut)
+			if err != nil {
+				return err
+			}
+			if err := tr.WriteJSONL(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("trace: %d events written to %s (%d dropped by the ring)\n",
+				len(tr.Events()), cfg.traceOut, tr.Dropped())
+		}
+		if reg != nil && cfg.metricsHold > 0 {
+			fmt.Printf("holding metrics server for %v...\n", cfg.metricsHold)
+			time.Sleep(cfg.metricsHold)
+		}
+		return nil
+	}
+	return reg, tr, finish, nil
 }
 
 func run(cfg runConfig) error {
@@ -87,7 +175,12 @@ func run(cfg runConfig) error {
 	sw.SetState(wind, phi)
 	dt := sw.MaxStableDt(0.4)
 
-	assign, err := assignment(method, ne, ranks, seed)
+	reg, tr, finishObs, err := obsSetup(cfg)
+	if err != nil {
+		return err
+	}
+
+	assign, err := assignment(method, ne, ranks, seed, reg)
 	if err != nil {
 		return err
 	}
@@ -95,12 +188,16 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
+	runner.Instrument(reg, tr)
 
 	fmt.Printf("K=%d elements, np=%d GLL points, %d ranks (%s partition), dt=%.1f s\n",
 		g.NumElems(), g.Np, ranks, method, dt)
 
 	if cfg.ckDir != "" || cfg.inject != "" {
-		return runSupervised(cfg, sw, assign, dt, phi)
+		if err := runSupervised(cfg, sw, assign, dt, phi, reg, tr); err != nil {
+			return err
+		}
+		return finishObs()
 	}
 
 	mass0 := sw.TotalMass()
@@ -134,14 +231,14 @@ func run(cfg runConfig) error {
 		fmt.Printf("  rank %d: %d elements, %d bytes/step, busy %v\n",
 			rk, owned[rk], bytes[rk], runner.BusyTime[rk].Round(1000))
 	}
-	return nil
+	return finishObs()
 }
 
 // runSupervised drives the integration through the resilience supervisor:
 // periodic checkpoints, per-step NaN sentinel, watchdog, and the fault plan
 // of -inject. Every recovery action is echoed from the deterministic event
 // log.
-func runSupervised(cfg runConfig, sw *seam.ShallowWater, assign []int32, dt float64, phi func(p mesh.Vec3) float64) error {
+func runSupervised(cfg runConfig, sw *seam.ShallowWater, assign []int32, dt float64, phi func(p mesh.Vec3) float64, reg *obs.Registry, tr *obs.RunTrace) error {
 	var store resilience.Store = resilience.NewMemStore()
 	if cfg.ckDir != "" {
 		fs, err := resilience.NewFileStore(cfg.ckDir)
@@ -166,6 +263,7 @@ func runSupervised(cfg runConfig, sw *seam.ShallowWater, assign []int32, dt floa
 			CheckpointEvery: cfg.ckEvery,
 			StepDeadline:    cfg.stepDeadline,
 		},
+		Obs: reg, Trace: tr,
 	}
 	mass0 := sw.TotalMass()
 	start := time.Now()
@@ -191,7 +289,7 @@ func runSupervised(cfg runConfig, sw *seam.ShallowWater, assign []int32, dt floa
 	return nil
 }
 
-func assignment(method string, ne, ranks int, seed int64) ([]int32, error) {
+func assignment(method string, ne, ranks int, seed int64, reg *obs.Registry) ([]int32, error) {
 	switch method {
 	case "sfc":
 		res, err := core.PartitionCubedSphere(core.Config{Ne: ne, NProcs: ranks})
@@ -209,7 +307,7 @@ func assignment(method string, ne, ranks int, seed int64) ([]int32, error) {
 			return nil, err
 		}
 		mm := map[string]metis.Method{"rb": metis.RB, "kway": metis.KWay, "tv": metis.KWayVol}[method]
-		p, err := metis.Partition(gr, ranks, metis.Options{Method: mm, Seed: seed})
+		p, err := metis.Partition(gr, ranks, metis.Options{Method: mm, Seed: seed, Obs: reg})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"sfccube/internal/machine"
 	"sfccube/internal/mesh"
 	"sfccube/internal/metis"
+	"sfccube/internal/obs"
 	"sfccube/internal/partition"
 	"sfccube/internal/sfc"
 )
@@ -22,6 +24,13 @@ var methodNames = []string{"SFC", "RB", "KWAY", "TV"}
 
 // partitionWith runs one of the four strategies on the given mesh/graph.
 func partitionWith(method string, m *mesh.Mesh, g *graph.Graph, nproc int, seed int64) (*partition.Partition, error) {
+	return partitionWithObs(method, m, g, nproc, seed, nil)
+}
+
+// partitionWithObs is partitionWith with an optional metrics registry: the
+// METIS-style partitioners record their multilevel metrics into reg (SFC
+// is a closed-form construction with nothing to meter).
+func partitionWithObs(method string, m *mesh.Mesh, g *graph.Graph, nproc int, seed int64, reg *obs.Registry) (*partition.Partition, error) {
 	switch method {
 	case "SFC":
 		res, err := core.PartitionCubedSphere(core.Config{Ne: m.Ne(), NProcs: nproc})
@@ -30,11 +39,11 @@ func partitionWith(method string, m *mesh.Mesh, g *graph.Graph, nproc int, seed 
 		}
 		return res.Partition, nil
 	case "RB":
-		return metis.Partition(g, nproc, metis.Options{Method: metis.RB, Seed: seed})
+		return metis.Partition(g, nproc, metis.Options{Method: metis.RB, Seed: seed, Obs: reg})
 	case "KWAY":
-		return metis.Partition(g, nproc, metis.Options{Method: metis.KWay, Seed: seed})
+		return metis.Partition(g, nproc, metis.Options{Method: metis.KWay, Seed: seed, Obs: reg})
 	case "TV":
-		return metis.Partition(g, nproc, metis.Options{Method: metis.KWayVol, Seed: seed})
+		return metis.Partition(g, nproc, metis.Options{Method: metis.KWayVol, Seed: seed, Obs: reg})
 	}
 	return nil, fmt.Errorf("experiments: unknown method %q", method)
 }
@@ -98,13 +107,39 @@ func Table1() *Table {
 	return t
 }
 
+// Telemetry maps one table column (method name) to the flat metric
+// snapshot (obs.Registry.Snapshot) of the registry that instrumented that
+// cell's partitioning run: the partitioner's own multilevel metrics plus
+// the derived partition-quality figures published as exp_* gauges.
+type Telemetry map[string]map[string]float64
+
+// JSON renders the telemetry with stable key order.
+func (tel Telemetry) JSON() ([]byte, error) {
+	return json.MarshalIndent(tel, "", "  ")
+}
+
 // Table2 reproduces Table 2: partition statistics for K=1536 (Ne=16) on 768
 // processors, for SFC and the three METIS algorithms.
 func Table2(seed int64) (*Table, error) {
+	t, _, err := table2(seed, false)
+	return t, err
+}
+
+// Table2Telemetry is Table2 plus per-cell telemetry: each method's column
+// is produced under its own metrics registry whose snapshot is returned
+// alongside the table, ready to be dumped next to the CSV artifact.
+// Instrumentation does not perturb the partitions (the registries are
+// per-cell and the partitioners are observation-invariant), so the table
+// equals Table2's exactly.
+func Table2Telemetry(seed int64) (*Table, Telemetry, error) {
+	return table2(seed, true)
+}
+
+func table2(seed int64, collect bool) (*Table, Telemetry, error) {
 	const ne, nproc = 16, 768
 	s, err := NewSetup(ne)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	t := &Table{
 		Name:    "table2",
@@ -120,15 +155,22 @@ func Table2(seed int64) (*Table, error) {
 	}
 	// The four columns are independent partitioning runs; evaluate them in
 	// parallel (each method's partitioner carries its own seed-derived RNG
-	// state, so the results match the serial order exactly).
+	// state, so the results match the serial order exactly). With collect
+	// set, each cell gets its own registry — snapshotted into the telemetry
+	// once the cell is done.
 	colVals := make([]col, len(order))
 	errs := make([]error, len(order))
+	regs := make([]*obs.Registry, len(order))
 	var wg sync.WaitGroup
 	for i, method := range order {
+		if collect {
+			regs[i] = obs.NewRegistry()
+		}
 		wg.Add(1)
 		go func(i int, method string) {
 			defer wg.Done()
-			p, err := partitionWith(method, s.Mesh, s.Graph, nproc, seed)
+			reg := regs[i]
+			p, err := partitionWithObs(method, s.Mesh, s.Graph, nproc, seed, reg)
 			if err != nil {
 				errs[i] = err
 				return
@@ -150,12 +192,29 @@ func Table2(seed int64) (*Table, error) {
 				edgecut:    st.EdgeCutUnweighted,
 				timeMicros: rep.StepTime * 1e6,
 			}
+			if reg != nil {
+				// Publish the derived partition-quality figures next to the
+				// partitioner's own metrics (load balances in milli-units:
+				// the gauges are integers).
+				reg.Gauge("exp_lb_nelemd_milli").Set(int64(st.LBNelemd*1000 + 0.5))
+				reg.Gauge("exp_lb_spcv_milli").Set(int64(st.LBSpcv*1000 + 0.5))
+				reg.Gauge("exp_tcv_bytes").Set(rep.TotalCommBytes)
+				reg.Gauge("exp_edgecut").Set(st.EdgeCutUnweighted)
+				reg.Gauge("exp_modelled_step_ns").Set(int64(rep.StepTime * 1e9))
+			}
 		}(i, method)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+	}
+	var tel Telemetry
+	if collect {
+		tel = Telemetry{}
+		for i, method := range order {
+			tel[method] = regs[i].Snapshot()
 		}
 	}
 	cols := map[string]col{}
@@ -177,7 +236,7 @@ func Table2(seed int64) (*Table, error) {
 	t.Notes = append(t.Notes,
 		"TCV is the per-step bytes crossing processor boundaries in the machine model",
 		"Time is the modelled execution time per time-step on the P690 model")
-	return t, nil
+	return t, tel, nil
 }
 
 // procSweep returns the equal-elements processor counts for a resolution,

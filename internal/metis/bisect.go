@@ -241,6 +241,7 @@ func (c *rbCtx) recurse(g *wgraph, origVerts []int32, firstPart, nparts int, see
 		}
 		return
 	}
+	c.stop.obs().observeBisection()
 	rng := newPRNG(seed)
 	nLeft := (nparts + 1) / 2
 	nRight := nparts - nLeft

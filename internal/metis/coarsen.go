@@ -1,6 +1,5 @@
 package metis
 
-
 // coarseLevel records one level of the multilevel hierarchy: the coarse
 // graph and the mapping from fine vertices to coarse vertices.
 type coarseLevel struct {
@@ -30,6 +29,7 @@ func coarsen(g *wgraph, coarsenTo int, rng *prng, ws *workspace, stop *stopper) 
 		levels = append(levels, coarseLevel{fine: cur, coarse: next, cmap: cmap})
 		cur = next
 	}
+	stop.obs().observeCoarsen(levels)
 	return levels, cur
 }
 

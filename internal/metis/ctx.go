@@ -10,10 +10,15 @@ import (
 
 // stopper adapts a context to the cheap polling the multilevel hot loops
 // can afford: one non-blocking channel check per coarsening level,
-// refinement pass, or recursive-bisection node. A nil stopper (the plain
-// Partition path) never stops.
+// refinement pass, or recursive-bisection node. A nil stopper (tests
+// calling internals directly) never stops and carries no metrics.
+//
+// The stopper doubles as the instrumentation carrier: it is already
+// threaded through every multilevel phase, so the metric handles ride
+// along without widening any signature (see obs.go).
 type stopper struct {
 	ctx context.Context
+	met *metisMetrics
 }
 
 func (s *stopper) stopped() bool {
@@ -45,7 +50,7 @@ func PartitionCtx(ctx context.Context, gr *graph.Graph, nparts int, opt Options)
 		return nil, fmt.Errorf("metis: cannot split %d vertices into %d parts", n, nparts)
 	}
 	opt = opt.withDefaults()
-	stop := &stopper{ctx: ctx}
+	stop := &stopper{ctx: ctx, met: newMetisMetrics(opt.Obs)}
 	if stop.stopped() {
 		return nil, fmt.Errorf("metis: %v partition of %d vertices into %d parts cancelled: %w",
 			opt.Method, n, nparts, ctx.Err())

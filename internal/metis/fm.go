@@ -250,6 +250,7 @@ func fmRefine(g *wgraph, side []int8, target, band float64, maxIters int, ws *wo
 			}
 		}
 		cut -= bestGain // the kept prefix reduced the pass-start cut by bestGain
+		stop.obs().observeFMPass(bestGain)
 		if !improved {
 			break
 		}

@@ -305,6 +305,7 @@ func kwayRefineCut(g *wgraph, assign []int32, nparts int, maxPart int64, iters i
 				conn[p] = 0
 			}
 		}
+		stop.obs().observeKWayPass(moved)
 		if moved == 0 {
 			if full {
 				break // converged on the whole boundary
@@ -448,6 +449,7 @@ func kwayRefineVol(g *wgraph, assign []int32, nparts int, maxPart int64, iters i
 				}
 			}
 		}
+		stop.obs().observeKWayPass(moved)
 		if moved == 0 {
 			if full {
 				break // converged on the whole boundary

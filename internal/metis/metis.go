@@ -33,6 +33,7 @@ import (
 	"context"
 
 	"sfccube/internal/graph"
+	"sfccube/internal/obs"
 	"sfccube/internal/partition"
 )
 
@@ -88,6 +89,13 @@ type Options struct {
 	InitTrials int
 	// RefineIters bounds the refinement passes per level. Zero means 10.
 	RefineIters int
+	// Obs, when non-nil, receives the partitioner's metrics (coarsening
+	// sizes, FM pass gains, refinement convergence; see DESIGN.md
+	// "Observability"). Observation is purely atomic and never touches the
+	// RNG streams, so an instrumented run produces byte-identical
+	// assignments. Nil disables all instrumentation at one branch per
+	// observation site.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,95 @@
+package metis
+
+import "sfccube/internal/obs"
+
+// metisMetrics holds the pre-resolved metric handles of an instrumented
+// partitioner run. A nil *metisMetrics (the plain Partition path, or an
+// Options without a registry) disables every observation after one
+// predictable branch — the multilevel hot loops never pay more than that.
+//
+// The handles are shared by every goroutine of a parallel recursive
+// bisection; all underlying metric words are atomic, so concurrent
+// observation is safe and — crucially — never touches the RNG streams,
+// preserving the partitioner's bit-for-bit determinism.
+type metisMetrics struct {
+	coarseSize   *obs.Histogram // metis_coarse_size
+	coarseLevels *obs.Histogram // metis_coarsen_levels
+	fmPasses     *obs.Counter   // metis_fm_passes_total
+	fmPassGain   *obs.Histogram // metis_fm_pass_gain
+	kwayPasses   *obs.Counter   // metis_kway_passes_total
+	kwayMoves    *obs.Histogram // metis_kway_pass_moves
+	bisections   *obs.Counter   // metis_rb_bisections_total
+}
+
+// newMetisMetrics registers the partitioner metric inventory on reg and
+// returns the resolved handles; a nil registry yields a nil handle set
+// (the disabled fast path). See DESIGN.md "Observability".
+func newMetisMetrics(reg *obs.Registry) *metisMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.Help("metis_coarse_size", "vertex count of each coarse graph produced by heavy-edge contraction")
+	reg.Help("metis_coarsen_levels", "depth of each multilevel coarsening hierarchy")
+	reg.Help("metis_fm_passes_total", "Fiduccia-Mattheyses refinement passes executed")
+	reg.Help("metis_fm_pass_gain", "edgecut gain kept by each FM pass (best rollback prefix)")
+	reg.Help("metis_kway_passes_total", "greedy K-way refinement passes executed")
+	reg.Help("metis_kway_pass_moves", "vertices moved per K-way refinement pass (0 = converged)")
+	reg.Help("metis_rb_bisections_total", "recursive-bisection tree nodes processed")
+	return &metisMetrics{
+		coarseSize:   reg.Histogram("metis_coarse_size"),
+		coarseLevels: reg.Histogram("metis_coarsen_levels"),
+		fmPasses:     reg.Counter("metis_fm_passes_total"),
+		fmPassGain:   reg.Histogram("metis_fm_pass_gain"),
+		kwayPasses:   reg.Counter("metis_kway_passes_total"),
+		kwayMoves:    reg.Histogram("metis_kway_pass_moves"),
+		bisections:   reg.Counter("metis_rb_bisections_total"),
+	}
+}
+
+// obs returns the metric handles carried by the stopper; nil stoppers
+// (tests calling internals directly) and uninstrumented runs yield nil.
+func (s *stopper) obs() *metisMetrics {
+	if s == nil {
+		return nil
+	}
+	return s.met
+}
+
+// observeCoarsen records one completed coarsening hierarchy: the size of
+// every coarse graph and the final depth.
+func (m *metisMetrics) observeCoarsen(sizes []coarseLevel) {
+	if m == nil {
+		return
+	}
+	for _, lv := range sizes {
+		m.coarseSize.Observe(int64(lv.coarse.n()))
+	}
+	m.coarseLevels.Observe(int64(len(sizes)))
+}
+
+// observeFMPass records one FM pass and the gain its kept prefix banked.
+func (m *metisMetrics) observeFMPass(gain int64) {
+	if m == nil {
+		return
+	}
+	m.fmPasses.Inc()
+	m.fmPassGain.Observe(gain)
+}
+
+// observeKWayPass records one K-way refinement pass and how many vertices
+// it moved; a run of zero-move passes is the convergence signal.
+func (m *metisMetrics) observeKWayPass(moved int) {
+	if m == nil {
+		return
+	}
+	m.kwayPasses.Inc()
+	m.kwayMoves.Observe(int64(moved))
+}
+
+// observeBisection counts one node of the recursive-bisection tree.
+func (m *metisMetrics) observeBisection() {
+	if m == nil {
+		return
+	}
+	m.bisections.Inc()
+}

@@ -1,0 +1,72 @@
+package metis
+
+import (
+	"testing"
+
+	"sfccube/internal/obs"
+)
+
+// TestObsDoesNotPerturbPartition: an instrumented run must produce a
+// byte-identical assignment — observation never touches the RNG streams.
+func TestObsDoesNotPerturbPartition(t *testing.T) {
+	g := gridGraph(16, 16)
+	for _, m := range []Method{RB, KWay, KWayVol} {
+		plain, err := Partition(g, 8, Options{Method: m, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		metered, err := Partition(g, 8, Options{Method: m, Seed: 7, Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if plain.Part(v) != metered.Part(v) {
+				t.Fatalf("%v: instrumentation changed the assignment at vertex %d", m, v)
+			}
+		}
+	}
+}
+
+// TestObsRecordsMultilevelShape: a real multilevel run must leave the
+// expected footprint in the registry — coarsening levels with shrinking
+// sizes, FM passes with non-negative kept gains, refinement convergence.
+func TestObsRecordsMultilevelShape(t *testing.T) {
+	g := gridGraph(24, 24)
+	reg := obs.NewRegistry()
+	if _, err := Partition(g, 8, Options{Method: RB, Seed: 3, Obs: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("metis_rb_bisections_total").Value() < 7 {
+		t.Errorf("bisections = %d, want >= 7 for 8 parts",
+			reg.Counter("metis_rb_bisections_total").Value())
+	}
+	cs := reg.Histogram("metis_coarse_size")
+	if cs.Count() == 0 {
+		t.Fatal("no coarse graph sizes observed")
+	}
+	if max := int64(g.NumVertices()); cs.Sum() > cs.Count()*max {
+		t.Errorf("coarse sizes implausibly large: sum %d over %d levels", cs.Sum(), cs.Count())
+	}
+	if reg.Histogram("metis_coarsen_levels").Count() == 0 {
+		t.Error("no coarsening hierarchies observed")
+	}
+	fm := reg.Histogram("metis_fm_pass_gain")
+	if fm.Count() == 0 || reg.Counter("metis_fm_passes_total").Value() != fm.Count() {
+		t.Errorf("FM pass accounting inconsistent: counter %d, histogram %d",
+			reg.Counter("metis_fm_passes_total").Value(), fm.Count())
+	}
+	if fm.Sum() < 0 {
+		t.Errorf("kept FM gain sum is negative: %d", fm.Sum())
+	}
+
+	// K-way adds refinement-pass convergence metrics on the same registry.
+	if _, err := Partition(g, 8, Options{Method: KWay, Seed: 3, Obs: reg}); err != nil {
+		t.Fatal(err)
+	}
+	km := reg.Histogram("metis_kway_pass_moves")
+	if km.Count() == 0 || reg.Counter("metis_kway_passes_total").Value() != km.Count() {
+		t.Errorf("K-way pass accounting inconsistent: counter %d, histogram %d",
+			reg.Counter("metis_kway_passes_total").Value(), km.Count())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sfccube/internal/core"
+	"sfccube/internal/obs"
 	"sfccube/internal/partition"
 	"sfccube/internal/seam"
 )
@@ -125,6 +126,12 @@ type Supervisor struct {
 	// Injector optionally injects faults; nil injects nothing.
 	Injector *Injector
 	Policy   Policy
+	// Obs, when non-nil, receives the supervisor's metrics: per-kind event
+	// counters, fault/rollback totals, and checkpoint bytes+latency (see
+	// DESIGN.md "Observability"). Nil disables metering.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives EvCheckpoint/EvRecovery span events.
+	Trace *obs.RunTrace
 }
 
 // RunCheckpointed is the convenience entry point: supervise a run of the
@@ -149,16 +156,24 @@ func (s *Supervisor) Run(ctx context.Context, steps int, dt float64) (*Report, e
 	nranks := s.NRanks
 	step := 0
 
+	met := newSupMetrics(s.Obs)
 	event := func(st int, kind EventKind, rank int, format string, args ...any) {
 		rep.Events = append(rep.Events, Event{Step: st, Kind: kind, Rank: rank, Detail: fmt.Sprintf(format, args...)})
+		met.observeEvent(kind)
 	}
 
 	save := func() error {
 		if s.Store == nil {
 			return nil
 		}
-		if err := s.Store.Save(EncodeCheckpoint(s.SW, uint64(step), dt)); err != nil {
+		start := time.Now()
+		buf := EncodeCheckpoint(s.SW, uint64(step), dt)
+		if err := s.Store.Save(buf); err != nil {
 			return fmt.Errorf("resilience: checkpoint at step %d: %w", step, err)
+		}
+		met.observeCheckpoint(len(buf), time.Since(start))
+		if s.Trace != nil {
+			s.Trace.Record(obs.Event{Kind: obs.EvCheckpoint, Step: int32(step), Stage: -1, Rank: -1, Arg: int64(len(buf))})
 		}
 		rep.Checkpoints++
 		event(step, EventCheckpoint, -1, "dt=%g", dt)
@@ -182,6 +197,9 @@ func (s *Supervisor) Run(ctx context.Context, steps int, dt float64) (*Report, e
 			return err
 		}
 		event(step, EventRollback, -1, "restored step %d dt=%g", int(ck.Step), ck.Dt)
+		if s.Trace != nil {
+			s.Trace.Record(obs.Event{Kind: obs.EvRecovery, Step: int32(step), Stage: -1, Rank: -1, Arg: int64(ck.Step)})
+		}
 		step, dt = int(ck.Step), ck.Dt
 		rep.Rollbacks++
 		return nil
@@ -213,7 +231,17 @@ func (s *Supervisor) Run(ctx context.Context, steps int, dt float64) (*Report, e
 	if s.Injector != nil {
 		s.Injector.arm(nranks)
 	}
-	runner, err := seam.NewRunner(s.SW, assign, nranks)
+	// newRunner (re)builds the runner for the current assignment and hands
+	// it the supervisor's instrumentation, so runner metrics survive
+	// re-partitions and rank deaths.
+	newRunner := func() (*seam.Runner, error) {
+		r, err := seam.NewRunner(s.SW, assign, nranks)
+		if err == nil {
+			r.Instrument(s.Obs, s.Trace)
+		}
+		return r, err
+	}
+	runner, err := newRunner()
 	if err != nil {
 		return rep, err
 	}
@@ -245,7 +273,7 @@ func (s *Supervisor) Run(ctx context.Context, steps int, dt float64) (*Report, e
 			}
 			event(step, EventPartitionFallback, -1, "deadline overrun, chain %s", res)
 			assign = append(assign[:0], res.Partition.Assignment()...)
-			if runner, err = seam.NewRunner(s.SW, assign, nranks); err != nil {
+			if runner, err = newRunner(); err != nil {
 				return rep, err
 			}
 		}
@@ -286,7 +314,7 @@ func (s *Supervisor) Run(ctx context.Context, steps int, dt float64) (*Report, e
 				return rep, overBudget(runErr)
 			}
 			if rebuild {
-				if runner, err = seam.NewRunner(s.SW, assign, nranks); err != nil {
+				if runner, err = newRunner(); err != nil {
 					return rep, err
 				}
 			}
@@ -295,8 +323,6 @@ func (s *Supervisor) Run(ctx context.Context, steps int, dt float64) (*Report, e
 
 		step++
 		if ferr := CheckFinite(s.SW); ferr != nil {
-			var nf *NonFiniteError
-			errors.As(ferr, &nf)
 			event(step-1, EventNaNDetected, -1, "%v", ferr)
 			if err := restore(); err != nil {
 				return rep, err

@@ -1,0 +1,175 @@
+package seam
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"sfccube/internal/obs"
+)
+
+// runnerMetrics holds the pre-resolved metric handles of an instrumented
+// Runner. All handles are registered once in Instrument, so the hot loops
+// only perform atomic adds. A nil *runnerMetrics is the disabled path:
+// every method no-ops after one predictable branch.
+type runnerMetrics struct {
+	steps    *obs.Counter      // seam_steps_total
+	flops    *obs.Counter      // seam_flops_total
+	dssBytes *obs.Counter      // seam_dss_bytes_total
+	stageNs  [4]*obs.Histogram // seam_stage_compute_ns{stage}
+	dssNs    *obs.Histogram    // seam_dss_assembly_ns
+	barrier  *obs.Histogram    // seam_barrier_wait_ns
+	rankBusy []*obs.Gauge      // seam_rank_busy_ns{rank}
+}
+
+// workerBatches returns one worker's local histogram batches for the four
+// stage-compute histograms and the DSS-assembly histogram. Batching keeps
+// the hot loop free of contended atomics: 384 ranks x 4 stages x 2 phases
+// of Observes per step collapse into a handful of atomic adds when each
+// worker flushes at the step-end barrier (see Runner.run). Nil-safe: on a
+// nil receiver every returned batch is nil and its methods no-op.
+func (m *runnerMetrics) workerBatches() (stage [4]*obs.HistogramBatch, dss *obs.HistogramBatch) {
+	if m == nil {
+		return stage, nil
+	}
+	for i := range stage {
+		stage[i] = m.stageNs[i].Batch()
+	}
+	return stage, m.dssNs.Batch()
+}
+
+// observeBarrier records one worker's wait at a phase barrier.
+func (m *runnerMetrics) observeBarrier(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.barrier.Observe(d.Nanoseconds())
+}
+
+// Instrument attaches a metrics registry and/or a run trace to the
+// runner. Either may be nil; a fully nil instrumentation restores the
+// uninstrumented fast path (benchmarked at <1% overhead on RunnerStep —
+// the hot loops see only nil checks). Call before Run/RunCtx, never
+// concurrently with one.
+//
+// Registered metrics (see DESIGN.md "Observability" for the inventory):
+//
+//	seam_steps_total              counter  completed RK4 steps
+//	seam_flops_total              counter  floating-point ops executed
+//	seam_dss_bytes_total          counter  bytes crossing rank boundaries
+//	seam_stage_compute_ns{stage}  histogram per-rank compute span per stage
+//	seam_dss_assembly_ns          histogram per-rank DSS assembly span
+//	seam_barrier_wait_ns          histogram per-worker barrier wait
+//	seam_rank_busy_ns{rank}       gauge    per-rank busy ns at the last
+//	                                       completed step boundary
+func (r *Runner) Instrument(reg *obs.Registry, tr *obs.RunTrace) {
+	r.trace = tr
+	if reg == nil {
+		r.metrics = nil
+		return
+	}
+	reg.Help("seam_steps_total", "completed RK4 steps of the parallel runner")
+	reg.Help("seam_flops_total", "floating-point operations executed by the runner")
+	reg.Help("seam_dss_bytes_total", "bytes that would cross rank boundaries in DSS exchanges")
+	reg.Help("seam_stage_compute_ns", "per-rank compute time of one RK stage, nanoseconds")
+	reg.Help("seam_dss_assembly_ns", "per-rank DSS assembly time of one RK stage, nanoseconds")
+	reg.Help("seam_barrier_wait_ns", "per-worker wait time at a phase barrier, nanoseconds")
+	reg.Help("seam_rank_busy_ns", "per-rank busy time at the last completed step boundary, nanoseconds")
+	m := &runnerMetrics{
+		steps:    reg.Counter("seam_steps_total"),
+		flops:    reg.Counter("seam_flops_total"),
+		dssBytes: reg.Counter("seam_dss_bytes_total"),
+		dssNs:    reg.Histogram("seam_dss_assembly_ns"),
+		barrier:  reg.Histogram("seam_barrier_wait_ns"),
+		rankBusy: make([]*obs.Gauge, r.NRanks),
+	}
+	for st := 0; st < 4; st++ {
+		m.stageNs[st] = reg.Histogram("seam_stage_compute_ns", "stage", strconv.Itoa(st))
+	}
+	for rk := 0; rk < r.NRanks; rk++ {
+		m.rankBusy[rk] = reg.Gauge("seam_rank_busy_ns", "rank", strconv.Itoa(rk))
+	}
+	r.metrics = m
+}
+
+// RunnerSnapshot is a consistent view of the runner's meters, captured
+// only at step boundaries (see Runner.Snapshot).
+type RunnerSnapshot struct {
+	// StepsDone counts RK4 steps completed since the runner was built,
+	// across all Run/RunCtx calls.
+	StepsDone int64
+	// BusyNs[rk] is rank rk's cumulative busy time within the current
+	// (or most recent) Run call, as of its last completed step. It is
+	// published atomically by the last worker through the step-end
+	// barrier, so concurrent readers never see a torn or mid-stage value.
+	BusyNs []int64
+}
+
+// Snapshot returns the per-rank busy meters as of the most recently
+// completed step boundary. Unlike reading Runner.BusyTime directly —
+// which races the workers and can observe a torn, mid-barrier value —
+// Snapshot is safe to call at any time, including concurrently with
+// Run/RunCtx (exercised under -race by TestSnapshotConcurrentWithRunCtx).
+func (r *Runner) Snapshot() RunnerSnapshot {
+	s := RunnerSnapshot{
+		StepsDone: r.stepsDone.Load(),
+		BusyNs:    make([]int64, r.NRanks),
+	}
+	for rk := range s.BusyNs {
+		s.BusyNs[rk] = r.published[rk].Load()
+	}
+	return s
+}
+
+// publishBusy atomically publishes the current BusyTime values into the
+// Snapshot-visible copies (and the obs gauges when instrumented). It
+// must only run while no worker is mutating BusyTime: at a step-end
+// barrier's prepare (exclusive, all writers arrived) or after wg.Wait.
+func (r *Runner) publishBusy() {
+	m := r.metrics
+	for rk := range r.BusyTime {
+		ns := int64(r.BusyTime[rk])
+		r.published[rk].Store(ns)
+		if m != nil {
+			m.rankBusy[rk].Set(ns)
+		}
+	}
+}
+
+// publishStep runs at every step-end barrier, exactly once per step,
+// after every worker of the step has arrived: all BusyTime writes of the
+// step happen-before it, so the values it publishes are complete
+// per-step figures, never mid-stage reads. Atomic stores make them
+// visible to concurrent Snapshot callers.
+func (r *Runner) publishStep(stepInRun int) {
+	r.publishBusy()
+	r.stepsDone.Add(1)
+	if m := r.metrics; m != nil {
+		m.steps.Inc()
+		m.dssBytes.Add(r.totalBytesPerStep)
+		m.flops.Add(r.flopsPerStep)
+	}
+	if r.trace != nil {
+		r.trace.Record(obs.Event{Kind: obs.EvStep, Step: int32(stepInRun), Stage: -1, Rank: -1, Arg: r.flopsPerStep})
+	}
+}
+
+// obsActive reports whether any per-span instrumentation is attached
+// (used to skip the extra time.Now calls around barriers when disabled).
+func (r *Runner) obsActive() bool { return r.metrics != nil || r.trace != nil }
+
+// instrumentation state embedded in Runner (kept in this file so the
+// scheduler in runner.go stays focused on the execution schedule).
+type runnerObsState struct {
+	metrics *runnerMetrics
+	trace   *obs.RunTrace
+	// published[rk] is BusyTime[rk] as of the last completed step,
+	// stored atomically at the step-end barrier; stepsDone counts
+	// completed steps across all runs. Both feed Snapshot.
+	published []atomic.Int64
+	stepsDone atomic.Int64
+	// flopsPerStep and totalBytesPerStep are precomputed in NewRunner so
+	// the per-step publication is pure atomic arithmetic.
+	flopsPerStep      int64
+	totalBytesPerStep int64
+}

@@ -7,7 +7,31 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sfccube/internal/obs"
 )
+
+// barrierWait is bar.waitThen with optional instrumentation: when any
+// observability sink is attached, the worker's wait (including the last
+// arriver's prepare) is timed into seam_barrier_wait_ns and, outside
+// deterministic mode, recorded as an EvBarrier trace event. The
+// uninstrumented path adds exactly one branch.
+func (r *Runner) barrierWait(bar *barrier, prepare func(), worker int) bool {
+	if !r.obsActive() {
+		return bar.waitThen(prepare)
+	}
+	t0 := time.Now()
+	ok := bar.waitThen(prepare)
+	d := time.Since(t0)
+	r.metrics.observeBarrier(d)
+	if tr := r.trace; tr != nil && !tr.Deterministic {
+		// Barrier events are per worker, and the worker count depends on
+		// GOMAXPROCS — they are inherently schedule-shaped, so they are
+		// omitted from deterministic (goldable) traces.
+		tr.Record(obs.Event{Kind: obs.EvBarrier, Step: -1, Stage: -1, Rank: -1, Dur: d.Nanoseconds(), Arg: int64(worker)})
+	}
+	return ok
+}
 
 // Runner executes the shallow-water model with the spectral elements
 // distributed over ranks according to a partition, mimicking SEAM's MPI
@@ -57,7 +81,16 @@ type Runner struct {
 	// most recent Run call only: Run resets it on entry, so busy/wall
 	// efficiency ratios are well-defined even after warm-up runs. Sum
 	// across calls yourself if you need a cumulative figure.
+	//
+	// BusyTime is owned by the worker goroutines while a run is in
+	// flight: reading it mid-run is a data race and can observe torn,
+	// mid-stage values. Concurrent observers must use Snapshot, which
+	// reads the atomically published step-boundary copies instead.
 	BusyTime []time.Duration
+
+	// runnerObsState carries the observability attachment (Instrument)
+	// and the atomically published step-boundary meters (Snapshot).
+	runnerObsState
 }
 
 // NewRunner distributes the elements of sw over nranks ranks following
@@ -108,6 +141,13 @@ func NewRunner(sw *ShallowWater, assign []int32, nranks int) (*Runner, error) {
 				r.sentPerApply[owner] += 8
 			}
 		}
+	}
+	// Precompute the per-step meter increments so step-boundary
+	// publication (publishStep) is pure atomic arithmetic.
+	r.published = make([]atomic.Int64, nranks)
+	r.flopsPerStep = 4*rhsFlopsShallowWater(k, sw.G.Np) + int64(k)*int64(npts)*3*4*4
+	for _, b := range r.sentPerApply {
+		r.totalBytesPerStep += b * 4 * 3
 	}
 	return r, nil
 }
@@ -350,6 +390,16 @@ func (r *Runner) runSteps(ctl *runControl, steps int, dt float64) (time.Duration
 	bar := newBarrier(nw)
 	var next atomic.Int32
 	resetNext := func() { next.Store(0) }
+	// stepEnd is the prepare action of every stage-3 phase-B barrier: the
+	// step boundary. It runs exclusively (under the barrier lock, after
+	// all workers of the step arrived), so the plain stepInRun counter and
+	// the non-atomic BusyTime reads inside publishStep are safe.
+	stepInRun := 0
+	stepEnd := func() {
+		resetNext()
+		r.publishStep(stepInRun)
+		stepInRun++
+	}
 
 	// Cancellation watchdog: the workers never block on the context (a rank
 	// mid-stall or parked at the barrier cannot poll), so a dedicated
@@ -423,6 +473,19 @@ func (r *Runner) runSteps(ctl *runControl, steps int, dt float64) (time.Duration
 					}
 				}()
 			}
+			// Worker-local histogram batches: phase spans accumulate
+			// without atomics and fold into the shared histograms at each
+			// step-end barrier (and on exit, covering abort paths), before
+			// publishStep runs — so step-boundary scrapes see complete
+			// per-step figures.
+			stageB, dssB := r.metrics.workerBatches()
+			flushBatches := func() {
+				for _, b := range stageB {
+					b.Flush()
+				}
+				dssB.Flush()
+			}
+			defer flushBatches()
 			scr := newRHSScratch(npts)
 			for s := 0; s < steps; s++ {
 				for st := 0; st < 4; st++ {
@@ -472,12 +535,17 @@ func (r *Runner) runSteps(ctl *runControl, steps int, dt float64) (time.Duration
 							}
 						}
 						sw.rhsElems(r.elemsOf[rk], scr, curV1, curV2, curP, k1v1, k1v2, k1p)
-						r.BusyTime[rk] += time.Since(busy)
+						d := time.Since(busy)
+						r.BusyTime[rk] += d
+						stageB[st].Observe(d.Nanoseconds())
+						if r.trace != nil {
+							r.trace.Record(obs.Event{Kind: obs.EvStage, Step: int32(s), Stage: int8(st), Rank: rk, Dur: d.Nanoseconds()})
+						}
 						if ctl != nil {
 							ctl.working[w].Store(-1)
 						}
 					}
-					if !bar.waitThen(resetNext) { // all tendencies written
+					if !r.barrierWait(bar, resetNext, w) { // all tendencies written
 						return
 					}
 					// Phase B: DSS assembly of owned shared nodes.
@@ -495,9 +563,27 @@ func (r *Runner) runSteps(ctl *runControl, steps int, dt float64) (time.Duration
 						busy := time.Now()
 						r.applyVectorRank(k1v1, k1v2, int(rk))
 						r.applyRank(k1p, int(rk))
-						r.BusyTime[rk] += time.Since(busy)
+						d := time.Since(busy)
+						r.BusyTime[rk] += d
+						dssB.Observe(d.Nanoseconds())
+						if r.trace != nil {
+							r.trace.Record(obs.Event{Kind: obs.EvDSS, Step: int32(s), Stage: int8(st), Rank: rk, Dur: d.Nanoseconds(), Arg: r.sentPerApply[rk] * 3})
+						}
 					}
-					if !bar.waitThen(resetNext) { // all averaged values visible
+					// The stage-3 phase-B barrier is a step boundary: the last
+					// arriver publishes the per-rank meters (under the barrier
+					// lock, after every BusyTime write of the step) so
+					// concurrent Snapshot readers never see a torn value.
+					prep := resetNext
+					if st == 3 {
+						prep = stepEnd
+						// Fold this worker's local spans into the shared
+						// histograms before arriving: the barrier's prepare
+						// (publishStep, run by the last arriver) then sees
+						// every observation of the step.
+						flushBatches()
+					}
+					if !r.barrierWait(bar, prep, w) { // all averaged values visible
 						return
 					}
 				}
@@ -525,6 +611,9 @@ func (r *Runner) runSteps(ctl *runControl, steps int, dt float64) (time.Duration
 	if watchDone != nil {
 		close(watchDone)
 	}
+	// The final epilogue added busy time after the last step boundary;
+	// publish the completed figures (single-threaded here).
+	r.publishBusy()
 	if ctl != nil {
 		if err := ctl.firstErr(); err != nil {
 			// The parallel section was aborted part-way: the prognostic

@@ -24,6 +24,7 @@ import (
 
 	"sfccube/internal/machine"
 	"sfccube/internal/mesh"
+	"sfccube/internal/obs"
 	"sfccube/internal/partition"
 )
 
@@ -44,6 +45,11 @@ type Result struct {
 	AdapterBusy []float64
 	// Messages is the number of messages simulated.
 	Messages int
+	// MaxQueueDepth is the deepest the event queue ever got — the
+	// simulator's working-set high-water mark, useful for sizing sweeps.
+	MaxQueueDepth int
+	// Events is the total number of simulator events processed.
+	Events int64
 }
 
 // event is a scheduled simulator event.
@@ -90,6 +96,40 @@ func Simulate(computeTime []float64, msgs []Message, mod machine.Model) (Result,
 // SimulateCtx is identical to Simulate — the polls do not perturb the
 // deterministic event order.
 func SimulateCtx(ctx context.Context, computeTime []float64, msgs []Message, mod machine.Model) (Result, error) {
+	return SimulateObs(ctx, computeTime, msgs, mod, nil)
+}
+
+// simMetrics holds the pre-resolved simulator metric handles; nil is the
+// disabled path (see DESIGN.md "Observability").
+type simMetrics struct {
+	runs   *obs.Counter   // trace_sim_runs_total
+	events *obs.Counter   // trace_sim_events_total
+	msgs   *obs.Counter   // trace_sim_messages_total
+	depth  *obs.Histogram // trace_sim_queue_depth
+}
+
+func newSimMetrics(reg *obs.Registry) *simMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.Help("trace_sim_runs_total", "event-driven step simulations executed")
+	reg.Help("trace_sim_events_total", "simulator events processed")
+	reg.Help("trace_sim_messages_total", "point-to-point messages simulated")
+	reg.Help("trace_sim_queue_depth", "event-queue depth sampled every 4096 events, plus the final high-water mark")
+	return &simMetrics{
+		runs:   reg.Counter("trace_sim_runs_total"),
+		events: reg.Counter("trace_sim_events_total"),
+		msgs:   reg.Counter("trace_sim_messages_total"),
+		depth:  reg.Histogram("trace_sim_queue_depth"),
+	}
+}
+
+// SimulateObs is SimulateCtx with metrics: when reg is non-nil the run's
+// event count, message count and sampled event-queue depths are recorded
+// under trace_sim_* (the queue-depth high-water mark is also returned in
+// Result.MaxQueueDepth either way). Metering never perturbs the simulated
+// schedule: observation happens outside the event ordering.
+func SimulateObs(ctx context.Context, computeTime []float64, msgs []Message, mod machine.Model, reg *obs.Registry) (Result, error) {
 	nproc := len(computeTime)
 	if mod.ProcsPerNode < 1 {
 		return Result{}, fmt.Errorf("trace: ProcsPerNode must be >= 1")
@@ -129,11 +169,15 @@ func SimulateCtx(ctx context.Context, computeTime []float64, msgs []Message, mod
 		pendingOut[m.From]++
 	}
 
+	met := newSimMetrics(reg)
 	var q eventQueue
 	seq := 0
 	post := func(t float64, kind, proc, msg int) {
 		q.push(event{t: t, seq: seq, kind: kind, proc: proc, msg: msg})
 		seq++
+		if l := q.Len(); l > res.MaxQueueDepth {
+			res.MaxQueueDepth = l
+		}
 	}
 
 	// adapterBeta is the transmission cost per byte through a node adapter;
@@ -162,6 +206,9 @@ func SimulateCtx(ctx context.Context, computeTime []float64, msgs []Message, mod
 				return Result{}, fmt.Errorf("trace: simulation of %d messages over %d processors cancelled: %w",
 					len(msgs), nproc, ctx.Err())
 			default:
+			}
+			if met != nil {
+				met.depth.Observe(int64(q.Len()))
 			}
 		}
 		e := q.pop()
@@ -239,6 +286,13 @@ func SimulateCtx(ctx context.Context, computeTime []float64, msgs []Message, mod
 		if t > res.StepTime {
 			res.StepTime = t
 		}
+	}
+	res.Events = int64(polled)
+	if met != nil {
+		met.runs.Inc()
+		met.events.Add(res.Events)
+		met.msgs.Add(int64(len(msgs)))
+		met.depth.Observe(int64(res.MaxQueueDepth))
 	}
 	return res, nil
 }
