@@ -1,0 +1,215 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"sfccube/internal/service"
+)
+
+// loadTestConfig drives runLoadTest. The smoke is benchgate-style
+// report-only in CI: it prints and writes the report either way and exits
+// nonzero only when an invariant or SLO is violated, with the CI job
+// marked advisory (continue-on-error).
+type loadTestConfig struct {
+	service  service.Config
+	herd     int           // concurrent identical requests (singleflight check)
+	distinct int           // distinct requests, each replayed once (cache check)
+	out      string        // JSON report path ("" = stdout only)
+	p99SLO   time.Duration // end-to-end p99 latency budget
+	hitFloor float64       // minimum overall cache-hit ratio
+}
+
+// loadReport is the JSON artifact. Every section carries its own ok flag;
+// the top-level ok is their conjunction.
+type loadReport struct {
+	Config struct {
+		Herd     int     `json:"herd"`
+		Distinct int     `json:"distinct"`
+		P99SLOMS float64 `json:"p99_slo_ms"`
+		HitFloor float64 `json:"hit_floor"`
+	} `json:"config"`
+	Herd struct {
+		Requests     int   `json:"requests"`
+		Computations int64 `json:"computations"`
+		OK           bool  `json:"ok"` // exactly one computation
+	} `json:"herd"`
+	Cache struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+		Shared int64 `json:"singleflight_shared"`
+		// Ratio is the work-avoidance ratio: the fraction of accepted
+		// requests answered without a fresh computation (cache hits plus
+		// singleflight joins — a herd follower counts as a cache miss in
+		// the raw counters even though it does no work).
+		Ratio float64 `json:"ratio"`
+		Floor float64 `json:"floor"`
+		OK    bool    `json:"ok"`
+	} `json:"cache"`
+	LatencyMS struct {
+		P50 float64 `json:"p50"`
+		P95 float64 `json:"p95"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+	SLO struct {
+		P99MS   float64 `json:"p99_ms"`
+		LimitMS float64 `json:"limit_ms"`
+		OK      bool    `json:"ok"`
+	} `json:"slo"`
+	OK bool `json:"ok"`
+}
+
+// runLoadTest stands up an in-process partsrv on a loopback port, drives it
+// over real HTTP, and checks the three production invariants: thundering
+// herds collapse to one computation, replays come from the cache, and p99
+// stays inside the SLO.
+func runLoadTest(cfg loadTestConfig) error {
+	svc := service.NewService(cfg.service)
+	mux := svc.Handler()
+	service.AttachObs(mux, cfg.service.Registry)
+	srv, err := service.Listen("127.0.0.1:0", mux, nil)
+	if err != nil {
+		return err
+	}
+	defer srv.Shutdown(context.Background(), 5*time.Second) //nolint:errcheck // best-effort teardown
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	var (
+		latMu sync.Mutex
+		lats  []time.Duration
+	)
+	get := func(url string) error {
+		start := time.Now()
+		resp, err := client.Get(url)
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+		}
+		latMu.Lock()
+		lats = append(lats, time.Since(start))
+		latMu.Unlock()
+		return nil
+	}
+
+	// Phase 1 — thundering herd: identical requests, all in flight at once.
+	herdURL := srv.URL() + "/v1/partition?ne=12&nparts=36&method=kway&seed=1"
+	errs := make([]error, cfg.herd)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < cfg.herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			errs[i] = get(herdURL)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	snap := func(name string) int64 { return int64(cfg.service.Registry.Snapshot()[name]) }
+	herdComputations := snap("partsrv_computations_total")
+
+	// Phase 2 — distinct requests, then replay each once: the replays must
+	// be pure cache hits.
+	for pass := 0; pass < 2; pass++ {
+		var wg sync.WaitGroup
+		perr := make([]error, cfg.distinct)
+		for i := 0; i < cfg.distinct; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				url := fmt.Sprintf("%s/v1/partition?ne=8&nparts=%d&method=rb&seed=%d",
+					srv.URL(), 8+2*i, i)
+				perr[i] = get(url)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range perr {
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	// Assemble the report.
+	var rep loadReport
+	rep.Config.Herd = cfg.herd
+	rep.Config.Distinct = cfg.distinct
+	rep.Config.P99SLOMS = float64(cfg.p99SLO) / 1e6
+	rep.Config.HitFloor = cfg.hitFloor
+
+	rep.Herd.Requests = cfg.herd
+	rep.Herd.Computations = herdComputations
+	rep.Herd.OK = herdComputations == 1
+
+	hits, misses := snap("partsrv_cache_hits_total"), snap("partsrv_cache_misses_total")
+	shared := snap("partsrv_singleflight_shared_total")
+	requests := snap("partsrv_requests_total")
+	rep.Cache.Hits, rep.Cache.Misses, rep.Cache.Shared = hits, misses, shared
+	if requests > 0 {
+		rep.Cache.Ratio = float64(hits+shared) / float64(requests)
+	}
+	rep.Cache.Floor = cfg.hitFloor
+	rep.Cache.OK = rep.Cache.Ratio >= cfg.hitFloor
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(q*float64(len(lats))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return float64(lats[i]) / 1e6
+	}
+	rep.LatencyMS.P50 = pct(0.50)
+	rep.LatencyMS.P95 = pct(0.95)
+	rep.LatencyMS.P99 = pct(0.99)
+	rep.LatencyMS.Max = float64(lats[len(lats)-1]) / 1e6
+	rep.SLO.P99MS = rep.LatencyMS.P99
+	rep.SLO.LimitMS = float64(cfg.p99SLO) / 1e6
+	rep.SLO.OK = rep.LatencyMS.P99 <= rep.SLO.LimitMS
+	rep.OK = rep.Herd.OK && rep.Cache.OK && rep.SLO.OK
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("loadtest: report written to %s\n", cfg.out)
+	}
+	if err := srv.Shutdown(context.Background(), 5*time.Second); err != nil {
+		return err
+	}
+	if !rep.OK {
+		return fmt.Errorf("SLO violated: herd ok=%v (computations=%d), cache ok=%v (ratio=%.2f < floor %.2f is a violation), p99 ok=%v (%.1fms vs %.1fms)",
+			rep.Herd.OK, rep.Herd.Computations, rep.Cache.OK, rep.Cache.Ratio, rep.Cache.Floor,
+			rep.SLO.OK, rep.SLO.P99MS, rep.SLO.LimitMS)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sfccube/internal/obs"
+	"sfccube/internal/service"
+)
+
+// TestRunLoadTest drives the full load smoke in miniature: real HTTP, a
+// 16-way herd, two distinct batches. The invariants it asserts are exactly
+// the CI SLOs — exactly one herd computation and a work-avoidance ratio
+// above the floor — plus the report round-tripping through its JSON file.
+func TestRunLoadTest(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "slo.json")
+	cfg := loadTestConfig{
+		service:  service.Config{Registry: obs.NewRegistry()},
+		herd:     16,
+		distinct: 4,
+		out:      out,
+		p99SLO:   time.Minute, // generous: this test checks invariants, not speed
+		hitFloor: 0.45,
+	}
+	if err := runLoadTest(cfg); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !rep.OK {
+		t.Fatalf("report not ok: %+v", rep)
+	}
+	if rep.Herd.Computations != 1 {
+		t.Errorf("herd computations = %d, want exactly 1", rep.Herd.Computations)
+	}
+	if rep.Cache.Ratio < cfg.hitFloor {
+		t.Errorf("work-avoidance ratio %.2f below floor %.2f", rep.Cache.Ratio, cfg.hitFloor)
+	}
+	if rep.LatencyMS.P99 <= 0 {
+		t.Error("no latency percentiles recorded")
+	}
+}

@@ -1,0 +1,111 @@
+// Command partsrv is the partition-as-a-service daemon (ROADMAP item 1): a
+// long-running HTTP server handing out cubed-sphere partitions. Internals
+// (package internal/service): a content-addressed LRU response cache,
+// singleflight dedup so a thundering herd of identical requests computes
+// once, a bounded compute pool, and graceful degradation through the
+// resilience fallback chain — an expired deadline still gets an O(K)
+// SFC/serpentine partition, marked degraded.
+//
+// Endpoints:
+//
+//	GET|POST /v1/partition         JSON:   assignment + partition stats
+//	GET|POST /v1/partition/stream  NDJSON: header line, then assignment chunks
+//	GET      /healthz              liveness
+//	GET      /metrics              Prometheus text exposition
+//	         /debug/vars, /debug/pprof/  standard debug surfaces
+//
+// Quickstart:
+//
+//	partsrv -addr :8090 &
+//	curl -s 'localhost:8090/v1/partition?ne=8&nparts=16&method=sfc' | jq .stats
+//	curl -s -X POST localhost:8090/v1/partition \
+//	    -d '{"ne": 12, "nparts": 48, "method": "kway", "seed": 7}' | jq .strategy
+//	curl -s localhost:8090/metrics | grep partsrv_
+//
+// The built-in load smoke (-loadtest N) starts an in-process instance,
+// fires N concurrent identical requests plus distinct batches, checks the
+// singleflight/cache/latency SLOs and writes a JSON report (see TESTING.md
+// "Partition-service load policy").
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sfccube/internal/obs"
+	"sfccube/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address (e.g. :8090 or 127.0.0.1:0)")
+	maxNe := flag.Int("max-ne", 128, "largest accepted cube-face dimension Ne (memory guard)")
+	workers := flag.Int("workers", 0, "max concurrent partition computations (0 = GOMAXPROCS)")
+	cacheMB := flag.Int64("cache-mb", 64, "response cache payload bound in MiB")
+	cacheEntries := flag.Int("cache-entries", 4096, "response cache entry bound")
+	defaultDeadline := flag.Duration("default-deadline", 0, "compute budget for requests that carry none (0 = unbounded)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+
+	ltN := flag.Int("loadtest", 0, "run the load smoke with this many concurrent identical requests instead of serving (0 = serve)")
+	ltDistinct := flag.Int("loadtest-distinct", 8, "distinct requests per load-smoke batch (each replayed once for cache hits)")
+	ltOut := flag.String("loadtest-out", "", "write the load-smoke JSON report to this file")
+	ltP99 := flag.Duration("loadtest-p99-slo", 2*time.Second, "p99 end-to-end latency SLO for the load smoke")
+	ltHitFloor := flag.Float64("loadtest-hit-floor", 0.45, "minimum overall cache-hit ratio for the load smoke")
+	flag.Parse()
+
+	cfg := service.Config{
+		MaxNe:           *maxNe,
+		Workers:         *workers,
+		CacheBytes:      *cacheMB << 20,
+		CacheEntries:    *cacheEntries,
+		DefaultDeadline: *defaultDeadline,
+		Registry:        obs.NewRegistry(),
+	}
+
+	if *ltN > 0 {
+		if err := runLoadTest(loadTestConfig{
+			service:  cfg,
+			herd:     *ltN,
+			distinct: *ltDistinct,
+			out:      *ltOut,
+			p99SLO:   *ltP99,
+			hitFloor: *ltHitFloor,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "partsrv loadtest:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := serve(*addr, cfg, *shutdownTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "partsrv:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully.
+func serve(addr string, cfg service.Config, shutdownTimeout time.Duration) error {
+	svc := service.NewService(cfg)
+	mux := svc.Handler()
+	service.AttachObs(mux, cfg.Registry)
+
+	srv, err := service.Listen(addr, mux, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("partsrv: serving on http://%s (try /v1/partition?ne=8&nparts=16, metrics on /metrics)\n", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Println("partsrv: signal received, draining...")
+	case <-srv.Done():
+		// Serve failed underneath us; Shutdown below surfaces the error.
+	}
+	return srv.Shutdown(context.Background(), shutdownTimeout)
+}

@@ -29,13 +29,10 @@ package main
 
 import (
 	"context"
-	"expvar"
 	"flag"
 	"fmt"
 	"math"
-	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"time"
 
@@ -47,6 +44,7 @@ import (
 	"sfccube/internal/partition"
 	"sfccube/internal/resilience"
 	"sfccube/internal/seam"
+	"sfccube/internal/service"
 )
 
 func main() {
@@ -96,40 +94,31 @@ type runConfig struct {
 	traceDet                 bool
 }
 
-// serveObs starts the observability HTTP server: Prometheus text on
-// /metrics, the process expvars (plus the registry snapshot under the
-// "sfccube" var) on /debug/vars, and the standard pprof surfaces under
-// /debug/pprof/. It returns the bound address (useful with ":0").
-func serveObs(addr string, reg *obs.Registry) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
-	}
-	expvar.Publish("sfccube", expvar.Func(func() any { return reg.Snapshot() }))
+// serveObs starts the observability HTTP server on the shared
+// internal/service lifecycle helper: Prometheus text on /metrics, the
+// process expvars (plus the registry snapshot under the "sfccube" var) on
+// /debug/vars, and the standard pprof surfaces under /debug/pprof/. Serve
+// errors are logged instead of dropped; the returned server must be shut
+// down by the caller (obsSetup's finish does).
+func serveObs(addr string, reg *obs.Registry) (*service.Server, error) {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	service.AttachObs(mux, reg)
+	return service.Listen(addr, mux, nil)
 }
 
 // obsSetup builds the registry/trace pair requested by the flags; either
-// may be nil (disabled). finish writes the trace file and holds the
-// metrics server open per -metrics-hold; call it after the run.
+// may be nil (disabled). finish writes the trace file, holds the metrics
+// server open per -metrics-hold, then shuts it down gracefully; call it
+// after the run.
 func obsSetup(cfg runConfig) (reg *obs.Registry, tr *obs.RunTrace, finish func() error, err error) {
+	var srv *service.Server
 	if cfg.metricsAddr != "" {
 		reg = obs.NewRegistry()
-		addr, err := serveObs(cfg.metricsAddr, reg)
+		srv, err = serveObs(cfg.metricsAddr, reg)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		fmt.Printf("metrics: http://%s/metrics (pprof under /debug/pprof/, expvar under /debug/vars)\n", addr)
+		fmt.Printf("metrics: http://%s/metrics (pprof under /debug/pprof/, expvar under /debug/vars)\n", srv.Addr())
 	}
 	if cfg.traceOut != "" {
 		tr = obs.NewRunTrace(1 << 16)
@@ -151,9 +140,14 @@ func obsSetup(cfg runConfig) (reg *obs.Registry, tr *obs.RunTrace, finish func()
 			fmt.Printf("trace: %d events written to %s (%d dropped by the ring)\n",
 				len(tr.Events()), cfg.traceOut, tr.Dropped())
 		}
-		if reg != nil && cfg.metricsHold > 0 {
-			fmt.Printf("holding metrics server for %v...\n", cfg.metricsHold)
-			time.Sleep(cfg.metricsHold)
+		if srv != nil {
+			if cfg.metricsHold > 0 {
+				fmt.Printf("holding metrics server for %v...\n", cfg.metricsHold)
+				time.Sleep(cfg.metricsHold)
+			}
+			if err := srv.Shutdown(context.Background(), 5*time.Second); err != nil {
+				return err
+			}
 		}
 		return nil
 	}

@@ -87,20 +87,47 @@ func (e *ExhaustedError) Error() string {
 	return "resilience: partition fallback chain exhausted: " + strings.Join(parts, "; ")
 }
 
+// Defaults applied by NewFallbackSpec — and, for backwards compatibility,
+// by PartitionWithFallback to the corresponding zero-valued fields of specs
+// built as plain struct literals (see FallbackSpec).
+const (
+	// DefaultMaxLB is the accepted LB(nelemd) when the caller expresses no
+	// preference.
+	DefaultMaxLB = 0.10
+	// DefaultSeedRetries is the number of reseeded retries each METIS
+	// strategy gets after a balance violation.
+	DefaultSeedRetries = 2
+	// DefaultSeed seeds the METIS-style strategies.
+	DefaultSeed int64 = 1
+)
+
 // FallbackSpec configures PartitionWithFallback.
+//
+// Build specs with NewFallbackSpec: it fills Seed, MaxLB and SeedRetries with
+// the Default* constants and marks the spec explicit, after which every field
+// is taken at face value — so SeedRetries = 0 (no reseeded retries),
+// MaxLB = 0 (strict perfect-balance gate) and Seed = 0 are all expressible.
+//
+// A spec built as a plain struct literal keeps the legacy zero-means-default
+// reading of those three fields (0 → DefaultSeedRetries/DefaultMaxLB/
+// DefaultSeed), so existing callers are unaffected; such specs cannot
+// express the zero values above.
 type FallbackSpec struct {
 	Ne     int
 	NProcs int
 	// Seed seeds the METIS-style strategies; reseeded retries derive fresh
-	// seeds from it.
+	// seeds from it. In a literal spec, zero means DefaultSeed.
 	Seed int64
 	// Chain overrides DefaultChain.
 	Chain []Strategy
 	// MaxLB is the accepted LB(nelemd) (equation (1) of the paper; 0 is
-	// perfect balance). Zero means 0.10; negative means "accept anything".
+	// perfect balance). Negative means "accept anything". In an explicit
+	// spec zero is the strict perfect-balance gate; in a literal spec zero
+	// means DefaultMaxLB.
 	MaxLB float64
 	// SeedRetries is how many reseeded retries each METIS strategy gets
-	// after a balance violation before the chain moves on. Zero means 2.
+	// after a balance violation before the chain moves on. In a literal
+	// spec, zero means DefaultSeedRetries; negative is clamped to zero.
 	SeedRetries int
 	// Backoff is the wait between reseeded retries (honouring ctx). The
 	// zero value means no wait, which is what tests use.
@@ -109,6 +136,29 @@ type FallbackSpec struct {
 	// strategies; when nil they are built from Ne on first use.
 	Graph *graph.Graph
 	Mesh  *mesh.Mesh
+
+	// explicit marks a spec produced by NewFallbackSpec: its Seed, MaxLB
+	// and SeedRetries are deliberate values, never rewritten.
+	explicit bool
+}
+
+// NewFallbackSpec returns an explicit spec for splitting the Ne cubed-sphere
+// mesh into nprocs parts, with Seed, MaxLB and SeedRetries set to the
+// Default* constants. Overwrite any field afterwards and it is honoured
+// exactly as written:
+//
+//	spec := resilience.NewFallbackSpec(ne, nprocs)
+//	spec.SeedRetries = 0 // no reseeded retries
+//	spec.MaxLB = 0       // accept only perfect balance
+func NewFallbackSpec(ne, nprocs int) FallbackSpec {
+	return FallbackSpec{
+		Ne:          ne,
+		NProcs:      nprocs,
+		Seed:        DefaultSeed,
+		MaxLB:       DefaultMaxLB,
+		SeedRetries: DefaultSeedRetries,
+		explicit:    true,
+	}
 }
 
 // FallbackResult is a successful chain outcome: the partition, the strategy
@@ -157,17 +207,22 @@ func PartitionWithFallback(ctx context.Context, spec FallbackSpec) (*FallbackRes
 	if chain == nil {
 		chain = DefaultChain
 	}
-	maxLB := spec.MaxLB
-	if maxLB == 0 {
-		maxLB = 0.10
+	maxLB, retries, seed := spec.MaxLB, spec.SeedRetries, spec.Seed
+	if !spec.explicit {
+		// Legacy struct-literal spec: zero values mean "unset". Specs from
+		// NewFallbackSpec skip this and take every field at face value.
+		if maxLB == 0 {
+			maxLB = DefaultMaxLB
+		}
+		if retries == 0 {
+			retries = DefaultSeedRetries
+		}
+		if seed == 0 {
+			seed = DefaultSeed
+		}
 	}
-	retries := spec.SeedRetries
-	if retries == 0 {
-		retries = 2
-	}
-	seed := spec.Seed
-	if seed == 0 {
-		seed = 1
+	if retries < 0 {
+		retries = 0
 	}
 
 	var attempts []Attempt

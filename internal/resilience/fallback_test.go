@@ -139,6 +139,149 @@ func TestFallbackDeterministic(t *testing.T) {
 	}
 }
 
+// TestFallbackExplicitZeroRetries: a spec from NewFallbackSpec with
+// SeedRetries overwritten to 0 must get exactly one attempt per METIS link —
+// the zero is a deliberate value, not "unset". Regression test for the
+// zero-value conflation that silently rewrote 0 to DefaultSeedRetries.
+func TestFallbackExplicitZeroRetries(t *testing.T) {
+	spec := NewFallbackSpec(2, 5)
+	spec.MaxLB = 1e-12
+	spec.SeedRetries = 0
+	_, err := PartitionWithFallback(context.Background(), spec)
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("got %v, want *ExhaustedError", err)
+	}
+	// KWAY + RB (no retries) + SFC + SERPENTINE = 4 attempts.
+	if len(ex.Attempts) != 4 {
+		t.Fatalf("got %d attempts %v, want 4 (zero retries honoured)", len(ex.Attempts), ex)
+	}
+}
+
+// TestFallbackExplicitStrictBalance: MaxLB = 0 on an explicit spec is a
+// strict perfect-balance gate, not DefaultMaxLB. 24 elements over 5 parts
+// cannot balance perfectly, so every link must be rejected; 96 over 6 can,
+// so the SFC split must pass the gate.
+func TestFallbackExplicitStrictBalance(t *testing.T) {
+	spec := NewFallbackSpec(2, 5)
+	spec.MaxLB = 0
+	spec.SeedRetries = 0
+	_, err := PartitionWithFallback(context.Background(), spec)
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("MaxLB=0 on an imbalanceable problem: got %v, want *ExhaustedError", err)
+	}
+	for _, a := range ex.Attempts {
+		var be *BalanceError
+		if !errors.As(a.Err, &be) {
+			t.Errorf("%s attempt: %v, want *BalanceError", a.Strategy, a.Err)
+		}
+	}
+
+	spec = NewFallbackSpec(4, 6) // 96 elements / 6 parts = 16 each, exactly
+	spec.MaxLB = 0
+	spec.Chain = []Strategy{StrategySFC}
+	res, err := PartitionWithFallback(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategySFC || len(res.Attempts) != 0 {
+		t.Errorf("perfectly balanceable SFC split rejected by MaxLB=0: %v", res)
+	}
+}
+
+// TestFallbackExplicitSeedZero: Seed = 0 on an explicit spec is recorded as
+// seed 0, while a literal spec still defaults it to DefaultSeed.
+func TestFallbackExplicitSeedZero(t *testing.T) {
+	spec := NewFallbackSpec(4, 6)
+	spec.Seed = 0
+	res, err := PartitionWithFallback(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seed != 0 {
+		t.Errorf("explicit Seed=0 recorded as %d", res.Seed)
+	}
+	legacy, err := PartitionWithFallback(context.Background(), FallbackSpec{Ne: 4, NProcs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Seed != DefaultSeed {
+		t.Errorf("literal spec Seed=0 recorded as %d, want DefaultSeed=%d", legacy.Seed, DefaultSeed)
+	}
+}
+
+// TestFallbackLegacyZeroDefaults pins the backwards-compatible reading of a
+// plain struct literal: SeedRetries 0 still means DefaultSeedRetries there.
+func TestFallbackLegacyZeroDefaults(t *testing.T) {
+	_, err := PartitionWithFallback(context.Background(), FallbackSpec{
+		Ne: 2, NProcs: 5, Seed: 1, MaxLB: 1e-12, // SeedRetries deliberately omitted
+	})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("got %v, want *ExhaustedError", err)
+	}
+	// KWAY×(1+DefaultSeedRetries) + RB×3 + SFC + SERPENTINE = 8 attempts.
+	if len(ex.Attempts) != 8 {
+		t.Fatalf("got %d attempts, want 8 (legacy default retries)", len(ex.Attempts))
+	}
+}
+
+// TestFallbackExpiredDeadlineSerpentine: with the deadline blown AND an Ne
+// the SFC construction cannot factor, the chain must still produce a
+// partition — METIS links recorded as cancelled attempts, SFC as
+// *UnsupportedNeError, serpentine delivering. "A partition is always better
+// than none."
+func TestFallbackExpiredDeadlineSerpentine(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	res, err := PartitionWithFallback(ctx, FallbackSpec{Ne: 5, NProcs: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategySerpentine {
+		t.Fatalf("got strategy %s, want SERPENTINE", res.Strategy)
+	}
+	if len(res.Attempts) != 3 {
+		t.Fatalf("got %d attempts %v, want KWAY, RB, SFC", len(res.Attempts), res.Attempts)
+	}
+	for _, a := range res.Attempts[:2] {
+		if !errors.Is(a.Err, context.DeadlineExceeded) {
+			t.Errorf("%s attempt error %v does not unwrap to DeadlineExceeded", a.Strategy, a.Err)
+		}
+	}
+	var une *UnsupportedNeError
+	if !errors.As(res.Attempts[2].Err, &une) {
+		t.Errorf("SFC attempt error %v, want *UnsupportedNeError", res.Attempts[2].Err)
+	}
+	if got := res.Partition.NumParts(); got != 10 {
+		t.Errorf("partition has %d parts, want 10", got)
+	}
+}
+
+// TestFallbackBackoffSkippedOnExpiredDeadline: Backoff applies between
+// reseeded retries only; once the context is done the chain must fall
+// through to the SFC links immediately instead of serving the backoff. With
+// an hour of configured backoff, any sleep at all would blow the test
+// timeout.
+func TestFallbackBackoffSkippedOnExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	spec := NewFallbackSpec(4, 8)
+	spec.Backoff = time.Hour
+	start := time.Now()
+	res, err := PartitionWithFallback(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("chain took %v with expired deadline; backoff not skipped", elapsed)
+	}
+	if res.Strategy != StrategySFC {
+		t.Fatalf("got strategy %s, want SFC", res.Strategy)
+	}
+}
+
 func TestFallbackBadArgs(t *testing.T) {
 	if _, err := PartitionWithFallback(context.Background(), FallbackSpec{Ne: 0, NProcs: 1}); err == nil {
 		t.Error("Ne=0 accepted")

@@ -266,7 +266,7 @@ func (s *Supervisor) Run(ctx context.Context, steps int, dt float64) (*Report, e
 		}
 		if f := s.Injector.take(FaultPartitionTimeout, step, -1); f != nil {
 			expired, cancel := context.WithDeadline(ctx, time.Unix(0, 0))
-			res, err := PartitionWithFallback(expired, FallbackSpec{Ne: s.Ne, NProcs: nranks, Seed: 1})
+			res, err := PartitionWithFallback(expired, NewFallbackSpec(s.Ne, nranks))
 			cancel()
 			if err != nil {
 				return rep, err
@@ -383,7 +383,9 @@ func (s *Supervisor) recover(ctx context.Context, rep *Report, pol Policy,
 			return false, err
 		}
 		*nranks--
-		res, err := PartitionWithFallback(ctx, FallbackSpec{Ne: s.Ne, NProcs: *nranks, Seed: 1, Chain: RepartitionChain})
+		spec := NewFallbackSpec(s.Ne, *nranks)
+		spec.Chain = RepartitionChain
+		res, err := PartitionWithFallback(ctx, spec)
 		if err != nil {
 			return false, err
 		}

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMissAndLRUOrder(t *testing.T) {
+	c := NewCache(1<<20, 3)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("aa"))
+	c.Put("b", []byte("bb"))
+	c.Put("c", []byte("cc"))
+	if v, ok := c.Get("a"); !ok || string(v) != "aa" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	// "a" is now most recent; inserting "d" must evict "b" (the LRU).
+	c.Put("d", []byte("dd"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %s evicted, want kept", k)
+		}
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", c.Evictions())
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := NewCache(10, 100)
+	c.Put("a", []byte("0123"))
+	c.Put("b", []byte("4567"))
+	if c.Bytes() != 8 || c.Len() != 2 {
+		t.Fatalf("bytes=%d len=%d, want 8/2", c.Bytes(), c.Len())
+	}
+	c.Put("c", []byte("89ab")) // 12 bytes total: evict until <= 10
+	if c.Bytes() > 10 {
+		t.Errorf("bytes=%d exceeds bound 10", c.Bytes())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("oldest entry survived byte-bound eviction")
+	}
+}
+
+func TestCacheUpdateInPlace(t *testing.T) {
+	c := NewCache(100, 10)
+	c.Put("k", []byte("small"))
+	c.Put("k", []byte("a rather larger value"))
+	if c.Len() != 1 {
+		t.Fatalf("len=%d after update, want 1", c.Len())
+	}
+	if got := c.Bytes(); got != int64(len("a rather larger value")) {
+		t.Errorf("bytes=%d not retallied on update", got)
+	}
+	if v, _ := c.Get("k"); string(v) != "a rather larger value" {
+		t.Errorf("Get(k) = %q", v)
+	}
+}
+
+func TestCacheOversizedValueNotCached(t *testing.T) {
+	c := NewCache(4, 10)
+	c.Put("big", []byte("way too large"))
+	if c.Len() != 0 {
+		t.Error("oversized value was cached")
+	}
+	// And it must not have wiped existing entries either.
+	c.Put("ok", []byte("ok"))
+	c.Put("big", []byte("way too large"))
+	if _, ok := c.Get("ok"); !ok {
+		t.Error("oversized Put evicted an unrelated entry")
+	}
+}
+
+func TestCacheEntryBoundChurn(t *testing.T) {
+	c := NewCache(1<<20, 4)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len=%d, want 4", c.Len())
+	}
+	for i := 96; i < 100; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("recent entry k%d missing", i)
+		}
+	}
+}

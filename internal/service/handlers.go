@@ -1,0 +1,247 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sfccube/internal/resilience"
+)
+
+// streamChunk is the default number of assignment entries per NDJSON line.
+const streamChunk = 16384
+
+// Handler returns the service mux: /healthz, /v1/partition (JSON) and
+// /v1/partition/stream (NDJSON for large K). Observability surfaces are
+// mounted separately with AttachObs so daemons compose them on the same
+// mux.
+func (s *Service) Handler() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/partition", s.instrument("partition", s.handlePartition))
+	mux.HandleFunc("/v1/partition/stream", s.instrument("stream", s.handleStream))
+	return mux
+}
+
+// statusRecorder captures the response code for the per-endpoint metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps h with per-endpoint latency and request/code counters.
+func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reg := s.cfg.Registry
+	reg.Help("partsrv_http_requests_total", "HTTP requests by endpoint and status code.")
+	reg.Help("partsrv_http_latency_ns", "HTTP request latency by endpoint.")
+	lat := reg.Histogram("partsrv_http_latency_ns", "endpoint", endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		lat.Observe(time.Since(start).Nanoseconds())
+		s.cfg.Registry.Counter("partsrv_http_requests_total",
+			"endpoint", endpoint, "code", strconv.Itoa(rec.code)).Inc()
+	}
+}
+
+// methodNotAllowed rejects anything but GET and POST with a 405 carrying
+// an Allow header; r reports whether the verb was rejected.
+func methodNotAllowed(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodPost {
+		return false
+	}
+	w.Header().Set("Allow", "GET, POST")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusMethodNotAllowed)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf("method %s not allowed (use GET or POST)", r.Method),
+	})
+	return true
+}
+
+// parseRequest reads a Request from a JSON body (POST) or query parameters
+// (GET, or POST without a body). Absent seed/max_lb stay absent — the
+// zero-vs-unset distinction is preserved all the way down.
+func parseRequest(r *http.Request) (Request, error) {
+	var req Request
+	if r.Method == http.MethodPost && r.Body != nil && r.ContentLength != 0 {
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return req, &BadRequestError{Reason: "invalid JSON body: " + err.Error()}
+		}
+		return req, nil
+	}
+	q := r.URL.Query()
+	atoi := func(name string) (int, error) {
+		v, err := strconv.Atoi(q.Get(name))
+		if err != nil {
+			return 0, &BadRequestError{Reason: fmt.Sprintf("parameter %s: %v", name, err)}
+		}
+		return v, nil
+	}
+	var err error
+	if req.Ne, err = atoi("ne"); err != nil {
+		return req, err
+	}
+	if req.NParts, err = atoi("nparts"); err != nil {
+		return req, err
+	}
+	req.Method = q.Get("method")
+	if q.Has("seed") {
+		v, err := strconv.ParseInt(q.Get("seed"), 10, 64)
+		if err != nil {
+			return req, &BadRequestError{Reason: "parameter seed: " + err.Error()}
+		}
+		req.Seed = &v
+	}
+	if q.Has("max_lb") {
+		v, err := strconv.ParseFloat(q.Get("max_lb"), 64)
+		if err != nil {
+			return req, &BadRequestError{Reason: "parameter max_lb: " + err.Error()}
+		}
+		req.MaxLB = &v
+	}
+	if q.Has("deadline_ms") {
+		if req.DeadlineMS, err = func() (int64, error) {
+			v, err := strconv.ParseInt(q.Get("deadline_ms"), 10, 64)
+			if err != nil {
+				return 0, &BadRequestError{Reason: "parameter deadline_ms: " + err.Error()}
+			}
+			return v, nil
+		}(); err != nil {
+			return req, err
+		}
+	}
+	return req, nil
+}
+
+// writeError renders err as a JSON error object with the right status:
+// 400 for validation failures, 422 for an exhausted fallback chain (the
+// request was well-formed but unsatisfiable), 500 otherwise.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var bad *BadRequestError
+	var ex *resilience.ExhaustedError
+	switch {
+	case errors.As(err, &bad):
+		code = http.StatusBadRequest
+	case errors.As(err, &ex):
+		code = http.StatusUnprocessableEntity
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// setMetaHeaders exposes the per-call envelope without touching the cached
+// payload bytes.
+func setMetaHeaders(w http.ResponseWriter, meta Meta) {
+	if meta.CacheHit {
+		w.Header().Set("X-Partsrv-Cache", "hit")
+	} else {
+		w.Header().Set("X-Partsrv-Cache", "miss")
+	}
+	if meta.Shared {
+		w.Header().Set("X-Partsrv-Shared", "true")
+	}
+	if meta.Degraded {
+		w.Header().Set("X-Partsrv-Degraded", "true")
+	}
+}
+
+// handlePartition answers one request with the full JSON response (the
+// cached bytes verbatim on a hit).
+func (s *Service) handlePartition(w http.ResponseWriter, r *http.Request) {
+	if methodNotAllowed(w, r) {
+		return
+	}
+	req, err := parseRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	payload, meta, err := s.Partition(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	setMetaHeaders(w, meta)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	_, _ = w.Write(payload)
+}
+
+// streamHeader is the first NDJSON line: the response without its
+// assignment, plus the chunking layout of the lines that follow.
+type streamHeader struct {
+	Response
+	Chunks    int `json:"chunks"`
+	ChunkSize int `json:"chunk_size"`
+}
+
+// streamLine is one assignment chunk: Assignment[Offset : Offset+len(Part)].
+type streamLine struct {
+	Offset     int     `json:"offset"`
+	Assignment []int32 `json:"assignment"`
+}
+
+// handleStream answers one request as NDJSON: a header line with the stats
+// and strategy, then the assignment in fixed-size chunks, flushed as they
+// are written. Meant for large K where a client wants to start consuming
+// the assignment before the full body has arrived.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	if methodNotAllowed(w, r) {
+		return
+	}
+	req, err := parseRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	payload, meta, err := s.Partition(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var resp Response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		writeError(w, err)
+		return
+	}
+	assign := resp.Assignment
+	resp.Assignment = nil
+	hdr := streamHeader{
+		Response:  resp,
+		Chunks:    (len(assign) + streamChunk - 1) / streamChunk,
+		ChunkSize: streamChunk,
+	}
+	setMetaHeaders(w, meta)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	if err := enc.Encode(hdr); err != nil {
+		return
+	}
+	for off := 0; off < len(assign); off += streamChunk {
+		end := min(off+streamChunk, len(assign))
+		if err := enc.Encode(streamLine{Offset: off, Assignment: assign[off:end]}); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package service is the partition-as-a-service layer (ROADMAP item 1): the
+// request model, content-addressed cache, singleflight dedup, bounded
+// compute pool and HTTP surface behind cmd/partsrv, plus the HTTP server
+// lifecycle helper shared with cmd/seamsim.
+//
+// See DESIGN.md "Partition service" for the cache-key canonicalization, the
+// singleflight protocol and the degradation ladder.
+package service
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sfccube/internal/obs"
+)
+
+// Server is a managed HTTP server: it listens, serves in the background,
+// records (rather than drops) the Serve error, and shuts down gracefully
+// with a bounded drain. It replaces the fire-and-forget goroutine pattern
+// that leaked the listener and lost serve errors in cmd/seamsim.
+type Server struct {
+	srv  *http.Server
+	ln   net.Listener
+	logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	serveErr error
+	done     chan struct{}
+}
+
+// Listen binds addr (":0" picks a free port), starts serving h in the
+// background, and returns the managed server. Serve failures are logged
+// through logf (nil means the standard logger) the moment they happen and
+// are also surfaced by Err and Shutdown. The caller owns the shutdown:
+// always call Shutdown, even after a serve error (it is idempotent enough
+// to be deferred).
+func Listen(addr string, h http.Handler, logf func(format string, args ...any)) (*Server, error) {
+	if logf == nil {
+		logf = log.Printf
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: h},
+		ln:   ln,
+		logf: logf,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.mu.Lock()
+			s.serveErr = err
+			s.mu.Unlock()
+			s.logf("service: http server on %s: %v", ln.Addr(), err)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns "http://<bound address>".
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Done returns a channel closed when the serve loop has exited — after a
+// Shutdown, or on a serve failure (check Err). Daemons select on it to
+// notice the server dying underneath them.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Err returns the serve error, if any, recorded so far. nil while the
+// server is healthy or after a clean shutdown.
+func (s *Server) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serveErr
+}
+
+// Shutdown gracefully drains in-flight requests, waiting at most timeout
+// (<= 0 means wait as long as ctx allows) before force-closing the
+// remaining connections. It blocks until the serve loop has exited and
+// returns the serve error if one occurred, otherwise the shutdown error.
+func (s *Server) Shutdown(ctx context.Context, timeout time.Duration) error {
+	sctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	shutErr := s.srv.Shutdown(sctx)
+	if shutErr != nil {
+		// Graceful drain timed out or was cancelled: force-close so the
+		// serve loop (and therefore <-s.done) is guaranteed to finish.
+		_ = s.srv.Close()
+	}
+	<-s.done
+	if err := s.Err(); err != nil {
+		return err
+	}
+	return shutErr
+}
+
+// expvarReg backs the process-wide "sfccube" expvar: expvar.Publish panics
+// on a duplicate name, so the var is published once and reads whichever
+// registry was attached last (nil-safe — a nil registry snapshots empty).
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[obs.Registry]
+)
+
+// AttachObs mounts the standard observability surfaces on mux: the
+// Prometheus text exposition of reg on /metrics, the process expvars (with
+// the registry snapshot under the "sfccube" var) on /debug/vars, and the
+// pprof handlers under /debug/pprof/. Shared by cmd/seamsim and
+// cmd/partsrv so both daemons expose identical debug surfaces.
+func AttachObs(mux *http.ServeMux, reg *obs.Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("sfccube", expvar.Func(func() any { return expvarReg.Load().Snapshot() }))
+	})
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

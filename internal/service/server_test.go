@@ -1,0 +1,152 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestServerLifecycle(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "pong")
+	})
+	srv, err := Listen("127.0.0.1:0", mux, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL() + "/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "pong\n" {
+		t.Fatalf("ping: %q", b)
+	}
+	if err := srv.Shutdown(context.Background(), 5*time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatalf("serve error after clean shutdown: %v", err)
+	}
+	// The port must actually be released.
+	if _, err := http.Get(srv.URL() + "/ping"); err == nil {
+		t.Error("server still answering after Shutdown")
+	}
+}
+
+// TestServerShutdownDrainsInflight: a request in flight when Shutdown is
+// called must complete, not be cut off.
+func TestServerShutdownDrains(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(inHandler)
+		<-release
+		fmt.Fprintln(w, "done")
+	})
+	srv, err := Listen("127.0.0.1:0", mux, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(srv.URL() + "/slow")
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- string(b)
+	}()
+	<-inHandler
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(context.Background(), 10*time.Second) }()
+	// Shutdown must be waiting on the in-flight request, not killing it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("shutdown returned (%v) while a request was in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if body := <-got; body != "done\n" {
+		t.Fatalf("in-flight request got %q, want %q", body, "done\n")
+	}
+}
+
+// TestServerShutdownTimeoutForcesClose: when the drain budget expires the
+// helper must force-close instead of hanging forever — the regression the
+// seamsim leak fix is about.
+func TestServerShutdownTimeoutForcesClose(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	inHandler := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stuck", func(w http.ResponseWriter, _ *http.Request) {
+		close(inHandler)
+		<-release
+	})
+	srv, err := Listen("127.0.0.1:0", mux, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		resp, err := http.Get(srv.URL() + "/stuck")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-inHandler
+	start := time.Now()
+	err = srv.Shutdown(context.Background(), 50*time.Millisecond)
+	if err == nil {
+		t.Error("shutdown reported success despite an undrainable connection")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("shutdown blocked %v despite its 50ms budget", elapsed)
+	}
+}
+
+// TestServerServeErrorRecorded: a serve failure must be logged and surfaced
+// through Err/Shutdown, never silently dropped.
+func TestServerServeErrorRecorded(t *testing.T) {
+	var logged atomic.Int32
+	srv, err := Listen("127.0.0.1:0", http.NewServeMux(), func(format string, args ...any) {
+		logged.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yank the listener out from under Serve to force an accept error.
+	srv.ln.Close()
+	select {
+	case <-srv.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve loop did not exit after listener close")
+	}
+	if srv.Err() == nil {
+		t.Error("serve error not recorded")
+	}
+	if logged.Load() == 0 {
+		t.Error("serve error not logged")
+	}
+	if err := srv.Shutdown(context.Background(), time.Second); err == nil {
+		t.Error("Shutdown swallowed the serve error")
+	}
+}
+
+func TestListenBadAddr(t *testing.T) {
+	if _, err := Listen("256.256.256.256:99999", nil, nil); err == nil {
+		t.Error("bad address accepted")
+	}
+}

@@ -1,0 +1,374 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"time"
+
+	"sfccube/internal/graph"
+	"sfccube/internal/mesh"
+	"sfccube/internal/obs"
+	"sfccube/internal/partition"
+	"sfccube/internal/resilience"
+)
+
+// Request is the wire form of a partition request. Seed and MaxLB are
+// pointers so that "absent" and "zero" stay distinguishable at the HTTP
+// boundary (the same conflation the resilience layer was just cured of):
+// an absent field takes the documented default, an explicit 0 means 0.
+type Request struct {
+	// Ne is the cube-face edge dimension; the mesh has 6*Ne*Ne elements.
+	Ne int `json:"ne"`
+	// NParts is the number of partitions, in [1, 6*Ne*Ne].
+	NParts int `json:"nparts"`
+	// Method is the partitioner: "auto" (quality-first fallback chain,
+	// the default), "kway", "rb", "sfc" or "serpentine". Aliases: "" =
+	// auto, "metis" = kway, "serp" = serpentine.
+	Method string `json:"method,omitempty"`
+	// Seed seeds the METIS-style methods (absent = resilience.DefaultSeed).
+	// Ignored — and canonicalized away — for the deterministic seedless
+	// methods sfc and serpentine.
+	Seed *int64 `json:"seed,omitempty"`
+	// MaxLB is the accepted load balance LB(nelemd): absent =
+	// resilience.DefaultMaxLB, 0 = perfect balance only, negative =
+	// accept anything.
+	MaxLB *float64 `json:"max_lb,omitempty"`
+	// DeadlineMS is the compute budget in milliseconds: 0 = the server
+	// default, > 0 = that budget, < 0 = already expired (the request
+	// jumps straight to the O(K) degradation ladder and is marked
+	// degraded). The deadline never fails a request — it only lowers the
+	// quality of the answer.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// canonicalRequest is a Request after validation and normalization — the
+// content whose hash addresses the cache. DeadlineMS is deliberately
+// excluded: the deadline changes how long the answer may take, never what
+// the answer is (degraded results are not cached).
+type canonicalRequest struct {
+	Ne     int
+	NParts int
+	Method string
+	Seed   int64
+	MaxLB  float64
+}
+
+// key returns the content address: the SHA-256 of the canonical encoding.
+func (c canonicalRequest) key() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf(
+		"ne=%d&nparts=%d&method=%s&seed=%d&max_lb=%s",
+		c.Ne, c.NParts, c.Method, c.Seed,
+		strconv.FormatFloat(c.MaxLB, 'g', -1, 64))))
+	return hex.EncodeToString(h[:])
+}
+
+// methodChains maps each canonical method to its degradation ladder: the
+// requested strategy first, then progressively cheaper strategies ending in
+// one that cannot fail. "auto" uses resilience.DefaultChain.
+var methodChains = map[string][]resilience.Strategy{
+	"auto":       resilience.DefaultChain,
+	"kway":       {resilience.StrategyKWay, resilience.StrategyRB, resilience.StrategySFC, resilience.StrategySerpentine},
+	"rb":         {resilience.StrategyRB, resilience.StrategySFC, resilience.StrategySerpentine},
+	"sfc":        {resilience.StrategySFC, resilience.StrategySerpentine},
+	"serpentine": {resilience.StrategySerpentine},
+}
+
+// seedless reports whether the method ignores Seed (deterministic SFC
+// constructions); their canonical seed is 0 so requests differing only in
+// seed share one cache entry.
+func seedless(method string) bool { return method == "sfc" || method == "serpentine" }
+
+var methodAliases = map[string]string{"": "auto", "metis": "kway", "serp": "serpentine", "tv": "kway"}
+
+// BadRequestError reports a request rejected by validation; the HTTP layer
+// maps it to 400.
+type BadRequestError struct{ Reason string }
+
+func (e *BadRequestError) Error() string { return "service: bad request: " + e.Reason }
+
+// Response is a completed partition request. It is exactly the bytes the
+// cache stores: everything in it is a pure function of the canonical
+// request, except Degraded/Attempts, which only ever appear on uncached
+// (deadline-pressured) answers.
+type Response struct {
+	// Key is the content address of the canonical request.
+	Key string `json:"key"`
+	// Ne, NParts, Method and Seed echo the canonical request.
+	Ne     int    `json:"ne"`
+	NParts int    `json:"nparts"`
+	Method string `json:"method"`
+	Seed   int64  `json:"seed"`
+	// Strategy is the fallback-chain link that produced the partition
+	// (equal to the requested method unless the chain degraded past it).
+	Strategy string `json:"strategy"`
+	// Degraded marks a result produced under deadline pressure: at least
+	// one higher-quality link was cancelled by the compute budget.
+	// Degraded responses are never cached.
+	Degraded bool `json:"degraded,omitempty"`
+	// Attempts lists the abandoned chain links, in order.
+	Attempts []string `json:"attempts,omitempty"`
+	// Stats are the paper's Table-2 quality metrics for the partition.
+	Stats partition.Stats `json:"stats"`
+	// Assignment maps element id → part.
+	Assignment []int32 `json:"assignment,omitempty"`
+}
+
+// Meta is the per-call envelope around a response payload: everything that
+// varies between two requests for the same content.
+type Meta struct {
+	CacheHit bool
+	Shared   bool // joined another caller's in-flight computation
+	Degraded bool
+	Elapsed  time.Duration
+}
+
+// Config sizes a Service. Zero values take the documented defaults.
+type Config struct {
+	// MaxNe bounds accepted problem sizes (memory guard; default 128,
+	// i.e. ~98k elements).
+	MaxNe int
+	// Workers bounds concurrent partition computations (default
+	// GOMAXPROCS).
+	Workers int
+	// CacheBytes / CacheEntries bound the response cache (defaults 64 MiB
+	// / 4096 entries).
+	CacheBytes   int64
+	CacheEntries int
+	// DefaultDeadline is the compute budget applied when a request
+	// carries none; 0 means unbounded.
+	DefaultDeadline time.Duration
+	// Registry receives the service metrics; nil disables them (nil-safe
+	// handles).
+	Registry *obs.Registry
+}
+
+// Service is the partition engine: canonicalize → cache → singleflight →
+// bounded compute with graceful degradation. One instance serves all
+// endpoints of a partsrv process.
+type Service struct {
+	cfg    Config
+	cache  *Cache
+	flight flightGroup
+	sem    chan struct{}
+
+	reqs         *obs.Counter
+	computations *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	sfShared     *obs.Counter
+	degraded     *obs.Counter
+	failures     *obs.Counter
+	computeNs    *obs.Histogram
+	cacheBytes   *obs.Gauge
+	cacheEntries *obs.Gauge
+}
+
+// NewService builds a Service from cfg.
+func NewService(cfg Config) *Service {
+	if cfg.MaxNe <= 0 {
+		cfg.MaxNe = 128
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	reg := cfg.Registry
+	reg.Help("partsrv_requests_total", "Partition requests accepted by the engine (all endpoints).")
+	reg.Help("partsrv_computations_total", "Partition computations actually executed (cache misses that won the singleflight).")
+	reg.Help("partsrv_cache_hits_total", "Requests answered from the content-addressed cache.")
+	reg.Help("partsrv_cache_misses_total", "Requests that missed the cache.")
+	reg.Help("partsrv_singleflight_shared_total", "Requests that joined another caller's in-flight computation.")
+	reg.Help("partsrv_degraded_total", "Responses produced under deadline pressure (fallback past the requested method).")
+	reg.Help("partsrv_failures_total", "Requests that failed after validation (exhausted chains, internal errors).")
+	reg.Help("partsrv_compute_ns", "Wall time of executed partition computations.")
+	reg.Help("partsrv_cache_bytes", "Current response-cache payload size.")
+	reg.Help("partsrv_cache_entries", "Current response-cache entry count.")
+	return &Service{
+		cfg:          cfg,
+		cache:        NewCache(cfg.CacheBytes, cfg.CacheEntries),
+		sem:          make(chan struct{}, cfg.Workers),
+		reqs:         reg.Counter("partsrv_requests_total"),
+		computations: reg.Counter("partsrv_computations_total"),
+		cacheHits:    reg.Counter("partsrv_cache_hits_total"),
+		cacheMisses:  reg.Counter("partsrv_cache_misses_total"),
+		sfShared:     reg.Counter("partsrv_singleflight_shared_total"),
+		degraded:     reg.Counter("partsrv_degraded_total"),
+		failures:     reg.Counter("partsrv_failures_total"),
+		computeNs:    reg.Histogram("partsrv_compute_ns"),
+		cacheBytes:   reg.Gauge("partsrv_cache_bytes"),
+		cacheEntries: reg.Gauge("partsrv_cache_entries"),
+	}
+}
+
+// Registry returns the metrics registry the service was built with (may be
+// nil).
+func (s *Service) Registry() *obs.Registry { return s.cfg.Registry }
+
+// canonicalize validates req against the service bounds and resolves the
+// absent-vs-zero fields into the canonical form.
+func (s *Service) canonicalize(req Request) (canonicalRequest, error) {
+	method := req.Method
+	if a, ok := methodAliases[method]; ok {
+		method = a
+	}
+	if _, ok := methodChains[method]; !ok {
+		return canonicalRequest{}, &BadRequestError{Reason: fmt.Sprintf("unknown method %q", req.Method)}
+	}
+	if req.Ne < 1 {
+		return canonicalRequest{}, &BadRequestError{Reason: fmt.Sprintf("ne=%d out of range [1,%d]", req.Ne, s.cfg.MaxNe)}
+	}
+	if req.Ne > s.cfg.MaxNe {
+		return canonicalRequest{}, &BadRequestError{Reason: fmt.Sprintf("ne=%d exceeds this server's limit %d", req.Ne, s.cfg.MaxNe)}
+	}
+	k := 6 * req.Ne * req.Ne
+	if req.NParts < 1 || req.NParts > k {
+		return canonicalRequest{}, &BadRequestError{Reason: fmt.Sprintf("nparts=%d out of range [1,%d] for ne=%d", req.NParts, k, req.Ne)}
+	}
+	seed := resilience.DefaultSeed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	if seedless(method) {
+		seed = 0 // sfc/serpentine are deterministic: all seeds share one entry
+	}
+	maxLB := resilience.DefaultMaxLB
+	if req.MaxLB != nil {
+		maxLB = *req.MaxLB
+	}
+	if math.IsNaN(maxLB) || math.IsInf(maxLB, 0) {
+		return canonicalRequest{}, &BadRequestError{Reason: "max_lb must be finite"}
+	}
+	if maxLB < 0 {
+		maxLB = -1 // every "accept anything" spelling is the same content
+	}
+	return canonicalRequest{Ne: req.Ne, NParts: req.NParts, Method: method, Seed: seed, MaxLB: maxLB}, nil
+}
+
+// Partition answers req: from the cache when possible, otherwise by joining
+// or starting a singleflight computation on the bounded worker pool. The
+// returned payload is the JSON-encoded Response (shared cache bytes — do
+// not modify).
+//
+// ctx cancellation is deliberately decoupled from the computation: once a
+// computation starts it runs to its own deadline, so a caller disconnect
+// cannot abort a result other waiters (or the cache) want.
+func (s *Service) Partition(ctx context.Context, req Request) ([]byte, Meta, error) {
+	start := time.Now()
+	canon, err := s.canonicalize(req)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	s.reqs.Inc()
+	key := canon.key()
+	if b, ok := s.cache.Get(key); ok {
+		s.cacheHits.Inc()
+		return b, Meta{CacheHit: true, Elapsed: time.Since(start)}, nil
+	}
+	s.cacheMisses.Inc()
+
+	type outcome struct {
+		payload  []byte
+		degraded bool
+	}
+	v, shared, err := s.flight.Do(key, func() (any, error) {
+		// Double-check under the flight: a previous flight for this key may
+		// have filled the cache between our Get and Do.
+		if b, ok := s.cache.Get(key); ok {
+			return outcome{payload: b}, nil
+		}
+		payload, degraded, err := s.compute(ctx, canon, key, req.DeadlineMS)
+		if err != nil {
+			return nil, err
+		}
+		if !degraded {
+			s.cache.Put(key, payload)
+			s.cacheBytes.Set(s.cache.Bytes())
+			s.cacheEntries.Set(int64(s.cache.Len()))
+		}
+		return outcome{payload: payload, degraded: degraded}, nil
+	})
+	if shared {
+		s.sfShared.Inc()
+	}
+	if err != nil {
+		s.failures.Inc()
+		return nil, Meta{Shared: shared}, err
+	}
+	out := v.(outcome)
+	if out.degraded {
+		s.degraded.Inc()
+	}
+	return out.payload, Meta{Shared: shared, Degraded: out.degraded, Elapsed: time.Since(start)}, nil
+}
+
+// compute runs one partition computation on the worker pool and encodes the
+// response. The compute context is detached from the caller (see Partition)
+// and bounded by the request deadline, the server default, or nothing.
+// deadlineMS < 0 starts with the budget already spent — the degradation
+// ladder's fast path.
+func (s *Service) compute(ctx context.Context, canon canonicalRequest, key string, deadlineMS int64) (payload []byte, degraded bool, err error) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	cctx := context.WithoutCancel(ctx)
+	var cancel context.CancelFunc
+	switch {
+	case deadlineMS < 0:
+		cctx, cancel = context.WithDeadline(cctx, time.Unix(0, 0))
+	case deadlineMS > 0:
+		cctx, cancel = context.WithTimeout(cctx, time.Duration(deadlineMS)*time.Millisecond)
+	case s.cfg.DefaultDeadline > 0:
+		cctx, cancel = context.WithTimeout(cctx, s.cfg.DefaultDeadline)
+	default:
+		cancel = func() {}
+	}
+	defer cancel()
+
+	t0 := time.Now()
+	m, err := mesh.New(canon.Ne)
+	if err != nil {
+		return nil, false, err
+	}
+	g, err := graph.FromMesh(m, graph.DefaultOptions())
+	if err != nil {
+		return nil, false, err
+	}
+	spec := resilience.NewFallbackSpec(canon.Ne, canon.NParts)
+	spec.Seed = canon.Seed
+	spec.MaxLB = canon.MaxLB
+	spec.Chain = methodChains[canon.Method]
+	spec.Mesh, spec.Graph = m, g
+	res, err := resilience.PartitionWithFallback(cctx, spec)
+	if err != nil {
+		return nil, false, err
+	}
+	st, err := partition.ComputeStats(g, res.Partition)
+	if err != nil {
+		return nil, false, err
+	}
+	s.computations.Inc()
+	s.computeNs.Observe(time.Since(t0).Nanoseconds())
+
+	resp := Response{
+		Key: key, Ne: canon.Ne, NParts: canon.NParts, Method: canon.Method,
+		Seed: res.Seed, Strategy: string(res.Strategy),
+		Stats: st, Assignment: res.Partition.Assignment(),
+	}
+	for _, a := range res.Attempts {
+		resp.Attempts = append(resp.Attempts, fmt.Sprintf("%s(seed %d): %v", a.Strategy, a.Seed, a.Err))
+		if errors.Is(a.Err, context.DeadlineExceeded) || errors.Is(a.Err, context.Canceled) {
+			resp.Degraded = true
+		}
+	}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, resp.Degraded, nil
+}
