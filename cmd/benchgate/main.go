@@ -50,6 +50,11 @@ var keyOf = map[string]string{
 	"BenchmarkKWayK13824P1536": "kway_k13824_p1536_ns_per_op",
 	"BenchmarkRBK55296P3072":   "rb_k55296_p3072_ns_per_op",
 	"BenchmarkKWayK55296P3072": "kway_k55296_p3072_ns_per_op",
+	// Million-element regime (PR 7): the SFC pipeline at Ne=384 is gated in
+	// CI; the 14M-element RB case is env-guarded (SCALE_BENCH=1) and its
+	// baseline is refreshed by hand.
+	"BenchmarkSFCParallelNe384": "sfc_parallel_ne384_ns_per_op",
+	"BenchmarkRBK1536P12288":    "rb_ne1536_p12288_ns_per_op",
 }
 
 // Result is one benchmark's comparison in the delta artifact.

@@ -43,11 +43,13 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8090", "listen address (e.g. :8090 or 127.0.0.1:0)")
-	maxNe := flag.Int("max-ne", 128, "largest accepted cube-face dimension Ne (memory guard)")
+	maxNe := flag.Int("max-ne", 384, "largest accepted cube-face dimension Ne (memory guard)")
 	workers := flag.Int("workers", 0, "max concurrent partition computations (0 = GOMAXPROCS)")
 	cacheMB := flag.Int64("cache-mb", 64, "response cache payload bound in MiB")
 	cacheEntries := flag.Int("cache-entries", 4096, "response cache entry bound")
 	defaultDeadline := flag.Duration("default-deadline", 0, "compute budget for requests that carry none (0 = unbounded)")
+	largeNe := flag.Int("large-ne", 0, "Ne threshold for the large-problem regime: deferred mesh, SFC-first auto chain (0 = default 256, negative = disable)")
+	largeDeadline := flag.Duration("large-deadline", 30*time.Second, "compute budget for large-regime requests that carry none (0 = default-deadline)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
 
 	ltN := flag.Int("loadtest", 0, "run the load smoke with this many concurrent identical requests instead of serving (0 = serve)")
@@ -63,6 +65,8 @@ func main() {
 		CacheBytes:      *cacheMB << 20,
 		CacheEntries:    *cacheEntries,
 		DefaultDeadline: *defaultDeadline,
+		LargeNe:         *largeNe,
+		LargeDeadline:   *largeDeadline,
 		Registry:        obs.NewRegistry(),
 	}
 

@@ -331,22 +331,28 @@ func (f *Forest) IsBalanced() bool {
 // leaves with unit weight (each leaf is one spectral element), edges connect
 // leaves sharing an edge (weight edgeW) or corner (weight cornerW).
 func (f *Forest) Graph(edgeW, cornerW int32) (*graph.Graph, error) {
-	b := graph.NewBuilder(f.NumLeaves())
-	for i := 0; i < f.NumLeaves(); i++ {
-		for _, j := range f.edgeNbrs[i] {
-			if int32(i) < j {
-				if err := b.AddEdge(i, int(j), edgeW); err != nil {
-					return nil, err
+	// The per-leaf neighbour lists are already sorted and disjoint, so the
+	// dual graph streams straight into exactly-sized CSR arrays (two-way
+	// merge per row) with no intermediate edge list.
+	return graph.FromAdjacency(f.NumLeaves(), func() graph.RowFunc {
+		return func(v int, emit func(int, int32)) {
+			en, cn := f.edgeNbrs[v], f.cornerNbrs[v]
+			ie, ic := 0, 0
+			for ie < len(en) && ic < len(cn) {
+				if en[ie] < cn[ic] {
+					emit(int(en[ie]), edgeW)
+					ie++
+				} else {
+					emit(int(cn[ic]), cornerW)
+					ic++
 				}
 			}
-		}
-		for _, j := range f.cornerNbrs[i] {
-			if int32(i) < j {
-				if err := b.AddEdge(i, int(j), cornerW); err != nil {
-					return nil, err
-				}
+			for ; ie < len(en); ie++ {
+				emit(int(en[ie]), edgeW)
+			}
+			for ; ic < len(cn); ic++ {
+				emit(int(cn[ic]), cornerW)
 			}
 		}
-	}
-	return b.Build(), nil
+	})
 }

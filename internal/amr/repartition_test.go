@@ -1,0 +1,197 @@
+package amr
+
+import (
+	"testing"
+
+	"sfccube/internal/mesh"
+	"sfccube/internal/sfc"
+)
+
+// refineQuadrant refines every cell whose centre falls in the lower-left
+// quadrant of face f up to the forest's max level (a moving "storm" when the
+// quadrant changes between updates).
+func refineQuadrant(face mesh.Face) RefineFunc {
+	return func(l Leaf) bool {
+		if l.Face != face {
+			return false
+		}
+		// Cell grid at this level spans [0, ne*2^Level); refine the lower-left
+		// half in both axes.
+		return l.X < (4<<l.Level)/2 && l.Y < (4<<l.Level)/2
+	}
+}
+
+// checkLeafPartition asserts assign is a valid nprocs-way partition of the
+// forest's leaves: every label in range, every part non-empty.
+func checkLeafPartition(t *testing.T, f *Forest, assign []int32, nprocs int) {
+	t.Helper()
+	if len(assign) != f.NumLeaves() {
+		t.Fatalf("assignment covers %d leaves, forest has %d", len(assign), f.NumLeaves())
+	}
+	counts := make([]int, nprocs)
+	for i, q := range assign {
+		if q < 0 || int(q) >= nprocs {
+			t.Fatalf("leaf %d assigned to part %d (nprocs=%d)", i, q, nprocs)
+		}
+		counts[q]++
+	}
+	for q, c := range counts {
+		if c == 0 {
+			t.Errorf("part %d empty", q)
+		}
+	}
+}
+
+// TestAMRRepartitionerIdenticalForestNoMigration: updating twice with the
+// same forest and weights must report zero migration (the relabelling must
+// recover the identical fine-grid assignment).
+func TestAMRRepartitionerIdenticalForestNoMigration(t *testing.T) {
+	f, err := NewForest(4, 2, refineQuadrant(mesh.FacePX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRepartitioner(sfc.PeanoFirst)
+	a1, mig, err := r.Update(f, 6, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLeafPartition(t, f, a1, 6)
+	if mig.Moved != 0 {
+		t.Errorf("first update reported migration %d", mig.Moved)
+	}
+	a2, mig, err := r.Update(f, 6, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Moved != 0 || mig.BytesMoved != 0 || mig.MovedFraction != 0 {
+		t.Errorf("identical update migrated: %+v", mig)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("leaf %d relabelled across identical updates: %d -> %d", i, a1[i], a2[i])
+		}
+	}
+}
+
+// TestAMRRepartitionerRefineCoarsenCycle drives a refine/coarsen cycle —
+// uniform mesh, refined on one face, refined on another, back to uniform —
+// and checks that every step yields a valid partition, that migration is
+// measured on the fixed finest grid, and that returning to an earlier forest
+// costs less than the fraction a from-scratch renumbering would move.
+func TestAMRRepartitionerRefineCoarsenCycle(t *testing.T) {
+	const ne, maxLevel, nprocs = 4, 2, 6
+	forests := []RefineFunc{
+		nil,                         // uniform
+		refineQuadrant(mesh.FacePX), // refine storm on +x
+		refineQuadrant(mesh.FacePY), // storm moves to +y (coarsen +x)
+		nil,                         // coarsen everything
+		nil,                         // steady state: identical forest again
+	}
+	r := NewRepartitioner(sfc.PeanoFirst)
+	side := ne << maxLevel
+	fineCells := mesh.NumFaces * side * side
+	lastMoved, lastStep := -1, -1
+	for step, refine := range forests {
+		f, err := NewForest(ne, maxLevel, refine)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		assign, mig, err := r.Update(f, nprocs, nil, 16)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		checkLeafPartition(t, f, assign, nprocs)
+		if step == 0 && mig.Moved != 0 {
+			t.Errorf("step 0 reported migration %d", mig.Moved)
+		}
+		if step > 0 {
+			if mig.Moved < 0 || mig.Moved > fineCells {
+				t.Fatalf("step %d: Moved=%d outside [0,%d]", step, mig.Moved, fineCells)
+			}
+			wantFrac := float64(mig.Moved) / float64(fineCells)
+			if mig.MovedFraction != wantFrac {
+				t.Errorf("step %d: MovedFraction=%v, want %v", step, mig.MovedFraction, wantFrac)
+			}
+			if mig.BytesMoved != int64(mig.Moved)*16 {
+				t.Errorf("step %d: BytesMoved=%d, want %d", step, mig.BytesMoved, int64(mig.Moved)*16)
+			}
+			// Refining or coarsening a quadrant of one face perturbs the cut
+			// locally; with overlap relabelling most of the sphere must stay
+			// put.
+			if mig.MovedFraction > 0.5 {
+				t.Errorf("step %d moved %.1f%% of finest cells", step, mig.MovedFraction*100)
+			}
+		}
+		lastMoved, lastStep = mig.Moved, step
+	}
+	// The final step repeats the previous forest exactly: zero migration.
+	if lastMoved != 0 {
+		t.Errorf("steady-state step %d still moved %d cells", lastStep, lastMoved)
+	}
+}
+
+// TestAMRRepartitionerWeighted: weighting one face's leaves heavily must
+// shift cut points without breaking validity, and the migration from the
+// uniform cut must be bounded by the fine-grid size.
+func TestAMRRepartitionerWeighted(t *testing.T) {
+	f, err := NewForest(4, 1, refineQuadrant(mesh.FaceNZ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRepartitioner(sfc.PeanoFirst)
+	if _, _, err := r.Update(f, 4, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	w := make([]int64, f.NumLeaves())
+	for i, l := range f.Leaves() {
+		if l.Face == mesh.FaceNZ {
+			w[i] = 10
+		} else {
+			w[i] = 1
+		}
+	}
+	assign, mig, err := r.Update(f, 4, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLeafPartition(t, f, assign, 4)
+	if mig.Moved == 0 {
+		t.Error("10x reweighting of a face moved nothing; cut is not weight-sensitive")
+	}
+}
+
+// TestAMRRepartitionerErrors covers argument validation and the fresh-start
+// path when the fine grid changes shape between updates.
+func TestAMRRepartitionerErrors(t *testing.T) {
+	f, err := NewForest(4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRepartitioner(sfc.PeanoFirst)
+	if _, _, err := r.Update(f, 0, nil, 0); err == nil {
+		t.Error("nprocs=0 accepted")
+	}
+	if _, _, err := r.Update(f, f.NumLeaves()+1, nil, 0); err == nil {
+		t.Error("nprocs > leaves accepted")
+	}
+	if _, _, err := r.Update(f, 2, make([]int64, 3), 0); err == nil {
+		t.Error("short weight vector accepted")
+	}
+	if _, _, err := r.Update(f, 2, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A forest on a different fine grid resets history: the update succeeds
+	// and reports zero migration.
+	f2, err := NewForest(4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, mig, err := r.Update(f2, 2, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLeafPartition(t, f2, assign, 2)
+	if mig.Moved != 0 {
+		t.Errorf("grid-shape change reported migration %d; should reset", mig.Moved)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"sfccube/internal/mesh"
+	"sfccube/internal/par"
 	"sfccube/internal/partition"
 	"sfccube/internal/sfc"
 )
@@ -51,7 +52,10 @@ type Result struct {
 // Ne, generate the continuous cubed-sphere curve, and split it into NProcs
 // contiguous segments.
 func PartitionCubedSphere(cfg Config) (*Result, error) {
-	m, err := mesh.New(cfg.Ne)
+	// NewAuto defers adjacency materialisation above ~10^5 elements: the SFC
+	// algorithm itself never queries element neighbours, so the big regime
+	// (Ne >= 384) pays only the O(Ne) cube-edge index.
+	m, err := mesh.NewAuto(cfg.Ne)
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +78,12 @@ func PartitionCubedSphere(cfg Config) (*Result, error) {
 // segments of near-equal weight and returns the element-to-processor
 // assignment. weights may be nil for uniform element cost; otherwise it is
 // indexed by mesh.ElemID.
+//
+// The weight permutation into curve order and the scatter back to element
+// ids are pure gather/scatter loops over the curve bijection and fan out
+// across goroutines; the cut points themselves come from the sequential
+// greedy walk inside SplitContiguous, so the assignment is byte-identical
+// at any GOMAXPROCS.
 func PartitionCurve(curve *sfc.CubeCurve, nprocs int, weights []int64) (*partition.Partition, error) {
 	k := curve.Len()
 	if nprocs < 1 || nprocs > k {
@@ -89,19 +99,24 @@ func PartitionCurve(curve *sfc.CubeCurve, nprocs int, weights []int64) (*partiti
 		if len(weights) != k {
 			return nil, fmt.Errorf("core: %d weights for %d elements", len(weights), k)
 		}
-		for rank := 0; rank < k; rank++ {
-			w[rank] = weights[curve.At(rank)]
-		}
+		par.ForChunks(k, 1<<15, func(lo, hi int) {
+			for rank := lo; rank < hi; rank++ {
+				w[rank] = weights[curve.At(rank)]
+			}
+		})
 	}
 	segAssign, err := partition.SplitContiguous(w, nprocs)
 	if err != nil {
 		return nil, err
 	}
-	// Scatter back from curve order to element ids.
+	// Scatter back from curve order to element ids; the curve is a
+	// bijection, so writes are disjoint.
 	assign := make([]int32, k)
-	for rank, part := range segAssign {
-		assign[curve.At(rank)] = part
-	}
+	par.ForChunks(k, 1<<15, func(lo, hi int) {
+		for rank := lo; rank < hi; rank++ {
+			assign[curve.At(rank)] = segAssign[rank]
+		}
+	})
 	return partition.FromAssignment(assign, nprocs)
 }
 

@@ -177,3 +177,16 @@ func BenchmarkSFCPartitionK1536P768(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSFCParallelNe384 is the million-element regime benchmark: the
+// full pipeline (deferred mesh, parallel per-face curve build, contiguous
+// cut) at Ne=384 — 884,736 elements onto 9,216 processors, 100x the paper's
+// largest tabulated case. Tracked in BENCH_metis.json and gated in CI
+// (cmd/benchgate, +/-20%).
+func BenchmarkSFCParallelNe384(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := PartitionCubedSphere(Config{Ne: 384, NProcs: 9216}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sfccube/internal/mesh"
+	"sfccube/internal/obs"
 	"sfccube/internal/partition"
 	"sfccube/internal/sfc"
 )
@@ -160,6 +161,193 @@ func TestRepartitionerPartCountChange(t *testing.T) {
 	}
 	if mig.Moved != 0 {
 		t.Errorf("migration across part-count change should be zero, got %d", mig.Moved)
+	}
+}
+
+// TestRepartitionerMigrationMatchesBruteForce cross-checks the Migration the
+// repartitioner reports against a by-hand diff of the consecutive partitions
+// it returns: the reported numbers must be exactly the count of vertices
+// whose (remapped) owner changed.
+func TestRepartitionerMigrationMatchesBruteForce(t *testing.T) {
+	const ne, nproc, bytesPerElem = 8, 24, 64
+	r, err := NewRepartitioner(ne, sfc.PeanoFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 6 * ne * ne
+	w := make([]int64, k)
+	for i := range w {
+		w[i] = 1 + int64(i%7)
+	}
+	prevP, _, err := r.Update(nproc, w, bytesPerElem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := append([]int32(nil), prevP.Assignment()...)
+	for step := 1; step <= 4; step++ {
+		for i := range w {
+			w[i] = 1 + int64((i*step+i%11)%9)
+		}
+		p, mig, err := r.Update(nproc, w, bytesPerElem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for v, q := range p.Assignment() {
+			if q != prev[v] {
+				moved++
+			}
+		}
+		if mig.Moved != moved {
+			t.Fatalf("step %d: reported Moved=%d, brute force counts %d", step, mig.Moved, moved)
+		}
+		wantFrac := float64(moved) / float64(k)
+		if mig.MovedFraction != wantFrac {
+			t.Fatalf("step %d: MovedFraction=%v, want %v", step, mig.MovedFraction, wantFrac)
+		}
+		if mig.BytesMoved != int64(moved)*bytesPerElem {
+			t.Fatalf("step %d: BytesMoved=%d, want %d", step, mig.BytesMoved, int64(moved)*bytesPerElem)
+		}
+		prev = append(prev[:0], p.Assignment()...)
+	}
+}
+
+// TestRemapPreservesLoadBalance: relabelling permutes part identities but may
+// not change part contents, so the weighted load balance after remapping must
+// equal the balance of a fresh cut with the same weights.
+func TestRemapPreservesLoadBalance(t *testing.T) {
+	const ne, nproc = 8, 24
+	k := 6 * ne * ne
+	w := make([]int64, k)
+	for i := range w {
+		w[i] = 1 + int64(i%5)
+	}
+	w2 := append([]int64(nil), w...)
+	for i := 0; i < k; i += 3 {
+		w2[i] += 4
+	}
+	wf := func(v int) int32 { return int32(w2[v]) }
+
+	fresh, err := NewRepartitioner(ne, sfc.PeanoFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFresh, _, err := fresh.Update(nproc, w2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	incr, err := NewRepartitioner(ne, sfc.PeanoFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := incr.Update(nproc, w, 0); err != nil {
+		t.Fatal(err)
+	}
+	pIncr, _, err := incr.Update(nproc, w2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lbFresh := partition.LoadBalanceInt64(pFresh.WeightedCounts(wf))
+	lbIncr := partition.LoadBalanceInt64(pIncr.WeightedCounts(wf))
+	if lbFresh != lbIncr {
+		t.Errorf("remapped LB %v differs from fresh-cut LB %v: relabel changed part contents", lbIncr, lbFresh)
+	}
+	// Stronger: the multiset of weighted part loads must be identical.
+	cf := append([]int64(nil), pFresh.WeightedCounts(wf)...)
+	ci := append([]int64(nil), pIncr.WeightedCounts(wf)...)
+	sortInt64(cf)
+	sortInt64(ci)
+	for q := range cf {
+		if cf[q] != ci[q] {
+			t.Fatalf("sorted part-load multiset differs at %d: %d vs %d", q, ci[q], cf[q])
+		}
+	}
+}
+
+func sortInt64(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestRepartitionerInstrumentation verifies the obs wiring: counters and the
+// latency histogram advance with each update, and the moved-fraction gauge
+// tracks the last migration.
+func TestRepartitionerInstrumentation(t *testing.T) {
+	r, err := NewRepartitioner(8, sfc.PeanoFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	r.Instrument(reg)
+	k := 6 * 8 * 8
+	w := make([]int64, k)
+	for i := range w {
+		w[i] = 1
+	}
+	if _, _, err := r.Update(24, w, 16); err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		w[i] = 1 + int64(i%13)
+	}
+	_, mig, err := r.Update(24, w, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Moved == 0 {
+		t.Fatal("weight reshuffle moved nothing; instrumentation test is vacuous")
+	}
+	if got := reg.Counter("repart_updates_total").Value(); got != 2 {
+		t.Errorf("repart_updates_total = %d, want 2", got)
+	}
+	if got := reg.Counter("repart_moved_elements_total").Value(); got != int64(mig.Moved) {
+		t.Errorf("repart_moved_elements_total = %d, want %d", got, mig.Moved)
+	}
+	if got := reg.Counter("repart_moved_bytes_total").Value(); got != mig.BytesMoved {
+		t.Errorf("repart_moved_bytes_total = %d, want %d", got, mig.BytesMoved)
+	}
+	if got := reg.Gauge("repart_moved_fraction_ppm").Value(); got != int64(mig.MovedFraction*1e6) {
+		t.Errorf("repart_moved_fraction_ppm = %d, want %d", got, int64(mig.MovedFraction*1e6))
+	}
+	if got := reg.Histogram("repart_update_ns").Count(); got != 2 {
+		t.Errorf("repart_update_ns count = %d, want 2", got)
+	}
+	// Last must return the second partition.
+	if r.Last() == nil || r.Last().NumParts() != 24 {
+		t.Error("Last() does not reflect the most recent update")
+	}
+}
+
+// TestOverlapRelabelIsPermutation pins the relabel table contract: a
+// permutation of [0, nparts) for arbitrary label layouts, including parts
+// that vanished or appeared between the two assignments.
+func TestOverlapRelabelIsPermutation(t *testing.T) {
+	cases := []struct {
+		prev, cur []int32
+		nparts    int
+	}{
+		{[]int32{0, 0, 1, 1, 2, 2}, []int32{2, 2, 0, 0, 1, 1}, 3},
+		{[]int32{0, 0, 0, 0}, []int32{3, 3, 1, 1}, 4},
+		{[]int32{0, 1, 2, 3}, []int32{0, 0, 0, 0}, 4},
+		{[]int32{1, 1, 1, 1}, []int32{0, 1, 2, 3}, 4},
+	}
+	for ci, tc := range cases {
+		table := OverlapRelabel(tc.prev, tc.cur, tc.nparts)
+		seen := make([]bool, tc.nparts)
+		for _, q := range table {
+			if q < 0 || int(q) >= tc.nparts {
+				t.Fatalf("case %d: relabel entry %d out of range", ci, q)
+			}
+			if seen[q] {
+				t.Fatalf("case %d: label %d assigned twice", ci, q)
+			}
+			seen[q] = true
+		}
 	}
 }
 

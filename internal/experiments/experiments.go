@@ -58,9 +58,12 @@ type Setup struct {
 }
 
 // NewSetup prepares the mesh, graph, workload and machine model for a
-// resolution.
+// resolution. The mesh keeps its adjacency deferred above ~10^5 elements
+// (mesh.NewAuto) and the dual graph streams through the exact-size CSR
+// build, so the sweep scales to the million-element regime without holding
+// any intermediate edge list.
 func NewSetup(ne int) (*Setup, error) {
-	m, err := mesh.New(ne)
+	m, err := mesh.NewAuto(ne)
 	if err != nil {
 		return nil, err
 	}

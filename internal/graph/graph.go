@@ -199,6 +199,11 @@ func (g *Graph) Validate() error {
 		return fmt.Errorf("graph: bad xadj structure")
 	}
 	for v := 0; v < n; v++ {
+		if g.xadj[v+1] < g.xadj[v] {
+			return fmt.Errorf("graph: row pointer of %d not monotone", v)
+		}
+	}
+	for v := 0; v < n; v++ {
 		adj, wts := g.Adj(v), g.AdjWeights(v)
 		for i, u := range adj {
 			if u == int32(v) {
@@ -250,7 +255,12 @@ func DefaultOptions() Options {
 	return Options{EdgeWeight: 8, CornerWeight: 1, IncludeCorners: true}
 }
 
-// FromMesh builds the partitioning graph of a cubed-sphere mesh.
+// FromMesh builds the partitioning graph of a cubed-sphere mesh by streaming
+// element adjacency straight into exactly-sized CSR arrays (FromAdjacency):
+// no intermediate edge list is materialised, so the peak footprint is the
+// final graph plus O(1) per-worker neighbour buffers. Works with both
+// materialised and deferred meshes; with a deferred mesh the dual graph is
+// never held twice in any form.
 func FromMesh(m *mesh.Mesh, opt Options) (*Graph, error) {
 	if opt.EdgeWeight == 0 {
 		opt.EdgeWeight = 1
@@ -259,7 +269,6 @@ func FromMesh(m *mesh.Mesh, opt Options) (*Graph, error) {
 		opt.CornerWeight = 1
 	}
 	k := m.NumElems()
-	b := NewBuilder(k)
 	if opt.VertexWeights != nil {
 		if len(opt.VertexWeights) != k {
 			return nil, fmt.Errorf("graph: %d vertex weights for %d elements", len(opt.VertexWeights), k)
@@ -268,7 +277,6 @@ func FromMesh(m *mesh.Mesh, opt Options) (*Graph, error) {
 			if w <= 0 {
 				return nil, fmt.Errorf("graph: non-positive vertex weight %d on element %d", w, v)
 			}
-			b.SetVertexWeight(v, w)
 		}
 	}
 	if opt.VertexSizes != nil {
@@ -279,27 +287,48 @@ func FromMesh(m *mesh.Mesh, opt Options) (*Graph, error) {
 			if s <= 0 {
 				return nil, fmt.Errorf("graph: non-positive vertex size %d on element %d", s, v)
 			}
-			b.SetVertexSize(v, s)
 		}
 	}
-	for e := 0; e < k; e++ {
-		id := mesh.ElemID(e)
-		for _, n := range m.EdgeNeighbors(id) {
-			if n > id { // add each undirected edge once
-				if err := b.AddEdge(e, int(n), opt.EdgeWeight); err != nil {
-					return nil, err
+	g, err := FromAdjacency(k, func() RowFunc {
+		// Per-worker neighbour buffers; NeighborsInto keeps queries
+		// allocation-free once they reach steady-state capacity.
+		var ebuf, cbuf []mesh.ElemID
+		return func(v int, emit func(int, int32)) {
+			ebuf, cbuf = m.NeighborsInto(mesh.ElemID(v), ebuf[:0], cbuf[:0])
+			if !opt.IncludeCorners {
+				for _, u := range ebuf {
+					emit(int(u), opt.EdgeWeight)
+				}
+				return
+			}
+			// Edge and corner neighbour sets are disjoint and each sorted;
+			// a two-way merge emits the full row in ascending order.
+			ie, ic := 0, 0
+			for ie < len(ebuf) && ic < len(cbuf) {
+				if ebuf[ie] < cbuf[ic] {
+					emit(int(ebuf[ie]), opt.EdgeWeight)
+					ie++
+				} else {
+					emit(int(cbuf[ic]), opt.CornerWeight)
+					ic++
 				}
 			}
-		}
-		if opt.IncludeCorners {
-			for _, n := range m.CornerNeighbors(id) {
-				if n > id {
-					if err := b.AddEdge(e, int(n), opt.CornerWeight); err != nil {
-						return nil, err
-					}
-				}
+			for ; ie < len(ebuf); ie++ {
+				emit(int(ebuf[ie]), opt.EdgeWeight)
+			}
+			for ; ic < len(cbuf); ic++ {
+				emit(int(cbuf[ic]), opt.CornerWeight)
 			}
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return b.Build(), nil
+	if opt.VertexWeights != nil {
+		copy(g.vwgt, opt.VertexWeights)
+	}
+	if opt.VertexSizes != nil {
+		copy(g.vsize, opt.VertexSizes)
+	}
+	return g, nil
 }

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sfccube/internal/par"
+)
+
+// RowFunc emits the adjacency row of vertex v by calling emit once per
+// neighbour, in strictly ascending neighbour order with positive weights.
+// FromAdjacency replays rows twice (a degree pass and a fill pass), so a
+// RowFunc must be replayable: calling it again for the same v must emit the
+// identical sequence.
+type RowFunc func(v int, emit func(u int, w int32))
+
+// csrChunk is the minimum vertex-chunk size for the parallel CSR passes;
+// small enough to balance load, large enough to amortise goroutine startup.
+const csrChunk = 4096
+
+// FromAdjacency builds a CSR graph with exactly-sized arrays from a
+// replayable adjacency stream: a degree pass sizes every row, then a fill
+// pass writes neighbours and weights in place. No intermediate edge list is
+// ever materialised, so peak memory is the final CSR plus O(1) per-worker
+// scratch — the property the million-element regime depends on.
+//
+// Vertices are processed in parallel chunks; newRows is called once per
+// chunk per pass to give each worker its own RowFunc (and thus private
+// scratch buffers). Each RowFunc instance only ever sees vertices of its
+// chunk, in ascending order, once per pass.
+//
+// The emitted rows are validated per vertex (range, no self-loops, strictly
+// ascending order, positive weights, both passes agreeing on the degree).
+// Symmetry across rows is the caller's contract — Graph.Validate checks it
+// when wanted. Vertex weights and sizes are initialised to 1.
+func FromAdjacency(n int, newRows func() RowFunc) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	g := &Graph{
+		xadj:  make([]int32, n+1),
+		vwgt:  make([]int32, n),
+		vsize: make([]int32, n),
+	}
+	for i := range g.vwgt {
+		g.vwgt[i] = 1
+		g.vsize[i] = 1
+	}
+
+	// Error aggregation: keep the error of the lowest vertex so failures are
+	// deterministic regardless of chunk scheduling.
+	var mu sync.Mutex
+	var firstErr error
+	firstErrV := n + 1
+	record := func(v int, err error) {
+		mu.Lock()
+		if v < firstErrV {
+			firstErrV, firstErr = v, err
+		}
+		mu.Unlock()
+	}
+
+	// Pass 1: exact row degrees into xadj[v+1]. The emit closure is hoisted
+	// out of the vertex loop so it is allocated once per chunk, not per row.
+	par.ForChunks(n, csrChunk, func(lo, hi int) {
+		rows := newRows()
+		var d int32
+		count := func(int, int32) { d++ }
+		for v := lo; v < hi; v++ {
+			d = 0
+			rows(v, count)
+			g.xadj[v+1] = d
+		}
+	})
+
+	var total int64
+	for v := 0; v < n; v++ {
+		total += int64(g.xadj[v+1])
+		if total > math.MaxInt32 {
+			return nil, fmt.Errorf("graph: adjacency exceeds int32 index space at vertex %d", v)
+		}
+		g.xadj[v+1] = int32(total)
+	}
+	g.adjncy = make([]int32, total)
+	g.adjwgt = make([]int32, total)
+
+	// Pass 2: fill rows in place, validating as we go. As in pass 1 the emit
+	// closure is per-chunk: it reads the current row bounds from st.
+	par.ForChunks(n, csrChunk, func(lo, hi int) {
+		rows := newRows()
+		var st struct {
+			v        int
+			pos, end int32
+			last     int32
+			bad      error
+		}
+		fill := func(u int, w int32) {
+			if st.bad != nil {
+				return
+			}
+			switch {
+			case u < 0 || u >= n:
+				st.bad = fmt.Errorf("graph: vertex %d emitted out-of-range neighbour %d", st.v, u)
+			case u == st.v:
+				st.bad = fmt.Errorf("graph: self-loop on vertex %d", st.v)
+			case int32(u) <= st.last:
+				st.bad = fmt.Errorf("graph: adjacency of %d not emitted in strictly ascending order", st.v)
+			case w <= 0:
+				st.bad = fmt.Errorf("graph: non-positive weight %d on edge (%d,%d)", w, st.v, u)
+			case st.pos >= st.end:
+				st.bad = fmt.Errorf("graph: vertex %d emitted more neighbours than in the degree pass", st.v)
+			default:
+				g.adjncy[st.pos] = int32(u)
+				g.adjwgt[st.pos] = w
+				st.pos++
+				st.last = int32(u)
+			}
+		}
+		for v := lo; v < hi; v++ {
+			st.v, st.pos, st.end, st.last, st.bad = v, g.xadj[v], g.xadj[v+1], -1, nil
+			rows(v, fill)
+			if st.bad == nil && st.pos != st.end {
+				st.bad = fmt.Errorf("graph: vertex %d emitted fewer neighbours than in the degree pass", v)
+			}
+			if st.bad != nil {
+				record(v, st.bad)
+				return
+			}
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return g, nil
+}

@@ -11,15 +11,30 @@
 // computed exactly from integer corner-node keys on the cube surface so that
 // adjacency across cube edges and at the eight cube corners (where only three
 // faces meet) needs no special-casing.
+//
+// Adjacency is resolved analytically: an interior element's eight neighbours
+// follow from index arithmetic alone, and only the O(Ne) boundary-ring
+// elements consult a prebuilt index of the nodes on the twelve cube edges.
+// New materialises per-element neighbour lists (cheap up to ~10^5 elements);
+// NewDeferred keeps only the O(Ne) cube-edge index and resolves neighbours on
+// demand, which is what lets the million-element regime (Ne >= 384) stream
+// the dual graph without ever holding a second copy of the adjacency.
 package mesh
 
 import (
 	"fmt"
-	"sort"
+
+	"sfccube/internal/par"
 )
 
 // NumFaces is the number of faces of the cube.
 const NumFaces = 6
+
+// DeferAdjacencyThreshold is the element count at and above which NewAuto
+// switches from materialised neighbour lists to deferred on-demand
+// resolution. 2^17 elements keeps every mesh through Ne=128 materialised
+// (the interactive regime) and defers from roughly Ne=148 up.
+const DeferAdjacencyThreshold = 1 << 17
 
 // Face identifies one of the six cube faces.
 type Face int
@@ -64,27 +79,63 @@ type Elem struct {
 }
 
 // Mesh is a cubed-sphere mesh with Ne x Ne elements per face.
-// The zero value is not usable; construct with New.
+// The zero value is not usable; construct with New, NewDeferred or NewAuto.
 type Mesh struct {
 	ne int
 
+	// cubeEdgeNodes maps every corner node lying on one of the twelve cube
+	// edges (at least two coordinates at +-ne) to the elements touching it.
+	// It has O(Ne) entries and is the only lookup structure cross-face
+	// adjacency needs: two elements on different faces can only share nodes
+	// on the cube edge where their faces meet.
+	cubeEdgeNodes map[nodeKey][]ElemID
+
 	// edgeNbrs[e] lists the elements sharing an edge (two corner nodes)
 	// with element e; cornerNbrs[e] lists the elements sharing exactly one
-	// corner node. Both are sorted by element id.
+	// corner node. Both are sorted by element id. Nil for deferred meshes,
+	// which resolve neighbours on demand instead.
 	edgeNbrs   [][]ElemID
 	cornerNbrs [][]ElemID
 }
 
-// New constructs the cubed-sphere mesh with ne x ne elements per face.
-// ne must be >= 1.
+// New constructs the cubed-sphere mesh with ne x ne elements per face and
+// materialises the per-element neighbour lists. ne must be >= 1.
 func New(ne int) (*Mesh, error) {
+	m, err := NewDeferred(ne)
+	if err != nil {
+		return nil, err
+	}
+	m.materialize()
+	return m, nil
+}
+
+// NewDeferred constructs the mesh without materialising neighbour lists:
+// only the O(Ne) cube-edge node index is built, and adjacency queries are
+// answered analytically per call. Use it for large meshes (Ne >= 384) where
+// the materialised lists would rival the dual graph itself in memory.
+// ne must be >= 1.
+func NewDeferred(ne int) (*Mesh, error) {
 	if ne < 1 {
 		return nil, fmt.Errorf("mesh: Ne must be >= 1, got %d", ne)
 	}
 	m := &Mesh{ne: ne}
-	m.buildTopology()
+	m.buildCubeEdgeIndex()
 	return m, nil
 }
+
+// NewAuto constructs the mesh, materialising neighbour lists for small
+// meshes and deferring them once the element count reaches
+// DeferAdjacencyThreshold.
+func NewAuto(ne int) (*Mesh, error) {
+	if ne >= 1 && NumFaces*ne*ne >= DeferAdjacencyThreshold {
+		return NewDeferred(ne)
+	}
+	return New(ne)
+}
+
+// Deferred reports whether the mesh resolves adjacency on demand rather
+// than from materialised neighbour lists.
+func (m *Mesh) Deferred() bool { return m.edgeNbrs == nil }
 
 // Ne returns the number of elements along one edge of a cube face.
 func (m *Mesh) Ne() int { return m.ne }
@@ -111,23 +162,47 @@ func (m *Mesh) Valid(id ElemID) bool {
 }
 
 // EdgeNeighbors returns the elements sharing an edge with e, sorted by id.
-// The returned slice is owned by the mesh and must not be modified.
-func (m *Mesh) EdgeNeighbors(e ElemID) []ElemID { return m.edgeNbrs[e] }
+// For a materialised mesh the returned slice is owned by the mesh and must
+// not be modified; a deferred mesh returns a freshly allocated slice.
+func (m *Mesh) EdgeNeighbors(e ElemID) []ElemID {
+	if m.edgeNbrs != nil {
+		return m.edgeNbrs[e]
+	}
+	en, _ := m.appendNeighbors(e, nil, nil)
+	return en
+}
 
 // CornerNeighbors returns the elements sharing exactly one corner point with
-// e, sorted by id. The returned slice is owned by the mesh and must not be
-// modified.
-func (m *Mesh) CornerNeighbors(e ElemID) []ElemID { return m.cornerNbrs[e] }
+// e, sorted by id. For a materialised mesh the returned slice is owned by
+// the mesh and must not be modified; a deferred mesh returns a freshly
+// allocated slice.
+func (m *Mesh) CornerNeighbors(e ElemID) []ElemID {
+	if m.cornerNbrs != nil {
+		return m.cornerNbrs[e]
+	}
+	_, cn := m.appendNeighbors(e, nil, nil)
+	return cn
+}
+
+// NeighborsInto appends the edge and corner neighbours of e, each sorted by
+// id, to edgeDst and cornerDst and returns the extended slices. Passing
+// reusable buffers (sliced to length 0) makes repeated queries allocation
+// free in steady state, which is what the streaming CSR build relies on.
+// It is safe for concurrent use: the mesh is never mutated after
+// construction.
+func (m *Mesh) NeighborsInto(e ElemID, edgeDst, cornerDst []ElemID) (edge, corner []ElemID) {
+	if m.edgeNbrs != nil {
+		return append(edgeDst, m.edgeNbrs[e]...), append(cornerDst, m.cornerNbrs[e]...)
+	}
+	return m.appendNeighbors(e, edgeDst, cornerDst)
+}
 
 // Neighbors returns the union of edge and corner neighbours of e, sorted by
 // id. This is the adjacency the paper uses to build the partitioning graph
 // ("neighboring elements that share a boundary or corner point").
 func (m *Mesh) Neighbors(e ElemID) []ElemID {
-	out := make([]ElemID, 0, len(m.edgeNbrs[e])+len(m.cornerNbrs[e]))
-	out = append(out, m.edgeNbrs[e]...)
-	out = append(out, m.cornerNbrs[e]...)
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
+	en, cn := m.NeighborsInto(e, nil, nil)
+	return mergeSorted(make([]ElemID, 0, len(en)+len(cn)), en, cn)
 }
 
 // NodeKey identifies a corner node of an element exactly: the node's
@@ -194,59 +269,213 @@ func (m *Mesh) cornerNode(f Face, i, j int) nodeKey {
 	}
 }
 
-// buildTopology computes edge and corner adjacency for every element by
-// grouping elements around shared corner nodes. Two elements sharing two
-// nodes share an edge; sharing exactly one node makes them corner neighbours.
-func (m *Mesh) buildTopology() {
-	k := m.NumElems()
-	// Map every corner node to the elements touching it.
-	nodeElems := make(map[nodeKey][]ElemID, 4*k)
+// onCubeEdge reports whether a corner node lies on one of the twelve cube
+// edges: at least two of its coordinates sit on the cube surface at +-ne.
+// (Exactly one coordinate at +-ne means a node interior to a face, which is
+// only ever shared between elements of that face.)
+func (m *Mesh) onCubeEdge(k nodeKey) bool {
+	n := 0
+	if k.x == m.ne || k.x == -m.ne {
+		n++
+	}
+	if k.y == m.ne || k.y == -m.ne {
+		n++
+	}
+	if k.z == m.ne || k.z == -m.ne {
+		n++
+	}
+	return n >= 2
+}
+
+// buildCubeEdgeIndex maps every corner node on a cube edge to the elements
+// touching it. Only boundary-ring elements (i or j in {0, ne-1}) can touch
+// such a node, so the index is built from the O(Ne) perimeter of each face.
+func (m *Mesh) buildCubeEdgeIndex() {
+	ne := m.ne
+	m.cubeEdgeNodes = make(map[nodeKey][]ElemID, 12*ne+8)
+	visit := func(f Face, i, j int) {
+		id := m.ID(f, i, j)
+		for _, c := range [4][2]int{{i, j}, {i + 1, j}, {i, j + 1}, {i + 1, j + 1}} {
+			key := m.cornerNode(f, c[0], c[1])
+			if m.onCubeEdge(key) {
+				m.cubeEdgeNodes[key] = append(m.cubeEdgeNodes[key], id)
+			}
+		}
+	}
 	for f := Face(0); f < NumFaces; f++ {
-		for j := 0; j < m.ne; j++ {
-			for i := 0; i < m.ne; i++ {
-				id := m.ID(f, i, j)
-				for _, c := range [4][2]int{{i, j}, {i + 1, j}, {i, j + 1}, {i + 1, j + 1}} {
-					key := m.cornerNode(f, c[0], c[1])
-					nodeElems[key] = append(nodeElems[key], id)
+		for j := 0; j < ne; j++ {
+			if j == 0 || j == ne-1 {
+				for i := 0; i < ne; i++ {
+					visit(f, i, j)
+				}
+			} else {
+				visit(f, 0, j)
+				if ne > 1 {
+					visit(f, ne-1, j)
 				}
 			}
 		}
 	}
-	// Count shared nodes per element pair.
-	shared := make([]map[ElemID]int, k)
-	for i := range shared {
-		shared[i] = make(map[ElemID]int, 8)
+}
+
+// Relative offsets of same-face neighbours in ascending element-id order
+// (sorted by dj, then di): ids differ by dj*ne + di.
+var (
+	sameFaceEdgeOffsets   = [4][2]int{{0, -1}, {-1, 0}, {1, 0}, {0, 1}}
+	sameFaceCornerOffsets = [4][2]int{{-1, -1}, {1, -1}, {-1, 1}, {1, 1}}
+)
+
+// appendNeighbors resolves the neighbours of e analytically and appends them
+// to the destination slices in ascending id order.
+func (m *Mesh) appendNeighbors(e ElemID, edgeDst, cornerDst []ElemID) ([]ElemID, []ElemID) {
+	ne := m.ne
+	n2 := ne * ne
+	id := int(e)
+	f := id / n2
+	r := id % n2
+	i, j := r%ne, r/ne
+	if i > 0 && i < ne-1 && j > 0 && j < ne-1 {
+		// Interior element: all eight neighbours exist on the same face and
+		// follow from index arithmetic; emitting rows (j-1, j, j+1) in order
+		// keeps both lists ascending.
+		below, above := id-ne, id+ne
+		edgeDst = append(edgeDst, ElemID(below), ElemID(id-1), ElemID(id+1), ElemID(above))
+		cornerDst = append(cornerDst, ElemID(below-1), ElemID(below+1), ElemID(above-1), ElemID(above+1))
+		return edgeDst, cornerDst
 	}
-	for _, elems := range nodeElems {
-		for a := 0; a < len(elems); a++ {
-			for b := a + 1; b < len(elems); b++ {
-				e1, e2 := elems[a], elems[b]
-				if e1 == e2 {
-					// An element can touch the same node twice only if
-					// ne == 1 wraps a face onto itself; it cannot for a
-					// cube, but guard anyway.
-					continue
+	return m.appendBoundaryNeighbors(Face(f), i, j, edgeDst, cornerDst)
+}
+
+// appendBoundaryNeighbors handles elements on the boundary ring of a face:
+// same-face neighbours are still arithmetic, and cross-face neighbours are
+// found through the cube-edge node index by counting shared nodes (two or
+// more shared nodes make an edge neighbour, exactly one a corner neighbour).
+func (m *Mesh) appendBoundaryNeighbors(f Face, i, j int, edgeDst, cornerDst []ElemID) ([]ElemID, []ElemID) {
+	ne := m.ne
+	base := int(f) * ne * ne
+
+	// Cross-face candidates with shared-node counts. An element touches at
+	// most six elements of other faces (two flanking pairs across a cube
+	// edge plus two around a cube corner), so fixed-size scratch suffices.
+	var cand [8]ElemID
+	var cnt [8]int8
+	ncand := 0
+	for _, c := range [4][2]int{{i, j}, {i + 1, j}, {i, j + 1}, {i + 1, j + 1}} {
+		key := m.cornerNode(f, c[0], c[1])
+		if !m.onCubeEdge(key) {
+			continue
+		}
+		for _, o := range m.cubeEdgeNodes[key] {
+			if int(o) >= base && int(o) < base+ne*ne {
+				continue // same-face neighbours are handled arithmetically
+			}
+			found := false
+			for t := 0; t < ncand; t++ {
+				if cand[t] == o {
+					cnt[t]++
+					found = true
+					break
 				}
-				shared[e1][e2]++
-				shared[e2][e1]++
+			}
+			if !found {
+				cand[ncand] = o
+				cnt[ncand] = 1
+				ncand++
 			}
 		}
 	}
-	m.edgeNbrs = make([][]ElemID, k)
-	m.cornerNbrs = make([][]ElemID, k)
+	// Split candidates by shared-node count and sort each group (insertion
+	// sort; at most six entries).
+	var xeBuf, xcBuf [8]ElemID
+	xe, xc := xeBuf[:0], xcBuf[:0]
+	for t := 0; t < ncand; t++ {
+		if cnt[t] >= 2 {
+			xe = insertSortedElem(xe, cand[t])
+		} else {
+			xc = insertSortedElem(xc, cand[t])
+		}
+	}
+
+	// Same-face neighbours in ascending order.
+	var feBuf, fcBuf [4]ElemID
+	fe, fc := feBuf[:0], fcBuf[:0]
+	for _, d := range sameFaceEdgeOffsets {
+		if ii, jj := i+d[0], j+d[1]; ii >= 0 && ii < ne && jj >= 0 && jj < ne {
+			fe = append(fe, ElemID(base+jj*ne+ii))
+		}
+	}
+	for _, d := range sameFaceCornerOffsets {
+		if ii, jj := i+d[0], j+d[1]; ii >= 0 && ii < ne && jj >= 0 && jj < ne {
+			fc = append(fc, ElemID(base+jj*ne+ii))
+		}
+	}
+
+	edgeDst = mergeSorted(edgeDst, fe, xe)
+	cornerDst = mergeSorted(cornerDst, fc, xc)
+	return edgeDst, cornerDst
+}
+
+// insertSortedElem inserts v into the ascending slice s (backed by a
+// fixed-size array with spare capacity).
+func insertSortedElem(s []ElemID, v ElemID) []ElemID {
+	p := len(s)
+	s = append(s, v)
+	for p > 0 && s[p-1] > v {
+		s[p] = s[p-1]
+		p--
+	}
+	s[p] = v
+	return s
+}
+
+// mergeSorted appends the merge of two ascending slices to dst.
+func mergeSorted(dst, a, b []ElemID) []ElemID {
+	ia, ib := 0, 0
+	for ia < len(a) && ib < len(b) {
+		if a[ia] <= b[ib] {
+			dst = append(dst, a[ia])
+			ia++
+		} else {
+			dst = append(dst, b[ib])
+			ib++
+		}
+	}
+	dst = append(dst, a[ia:]...)
+	return append(dst, b[ib:]...)
+}
+
+// materialize builds the per-element neighbour lists over two shared backing
+// arrays (one for edge lists, one for corner lists): a counting pass sizes
+// the rows exactly, a fill pass writes them in place. Both passes run over
+// element-id chunks in parallel; the result is identical at any GOMAXPROCS
+// because appendNeighbors is a pure function of the element id.
+func (m *Mesh) materialize() {
+	k := m.NumElems()
+	offE := make([]int32, k+1)
+	offC := make([]int32, k+1)
+	par.ForChunks(k, 2048, func(lo, hi int) {
+		var ebuf, cbuf []ElemID
+		for e := lo; e < hi; e++ {
+			ebuf, cbuf = m.appendNeighbors(ElemID(e), ebuf[:0], cbuf[:0])
+			offE[e+1] = int32(len(ebuf))
+			offC[e+1] = int32(len(cbuf))
+		}
+	})
 	for e := 0; e < k; e++ {
-		var en, cn []ElemID
-		for nbr, cnt := range shared[e] {
-			switch {
-			case cnt >= 2:
-				en = append(en, nbr)
-			case cnt == 1:
-				cn = append(cn, nbr)
-			}
-		}
-		sort.Slice(en, func(a, b int) bool { return en[a] < en[b] })
-		sort.Slice(cn, func(a, b int) bool { return cn[a] < cn[b] })
-		m.edgeNbrs[e] = en
-		m.cornerNbrs[e] = cn
+		offE[e+1] += offE[e]
+		offC[e+1] += offC[e]
 	}
+	flatE := make([]ElemID, offE[k])
+	flatC := make([]ElemID, offC[k])
+	edge := make([][]ElemID, k)
+	corner := make([][]ElemID, k)
+	par.ForChunks(k, 2048, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			es := flatE[offE[e]:offE[e]:offE[e+1]]
+			cs := flatC[offC[e]:offC[e]:offC[e+1]]
+			edge[e], corner[e] = m.appendNeighbors(ElemID(e), es, cs)
+		}
+	})
+	m.edgeNbrs = edge
+	m.cornerNbrs = corner
 }

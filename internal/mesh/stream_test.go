@@ -1,0 +1,194 @@
+package mesh
+
+import (
+	"sort"
+	"testing"
+)
+
+// oracleTopology is the original map-based topology construction: group
+// elements around every shared corner node, count shared nodes per element
+// pair, and classify pairs with >= 2 shared nodes as edge neighbours and
+// exactly 1 as corner neighbours. It is O(K) maps and retired from the
+// production path, but remains the ground truth the analytic resolver must
+// reproduce exactly.
+func oracleTopology(m *Mesh) (edge, corner [][]ElemID) {
+	k := m.NumElems()
+	nodeElems := make(map[nodeKey][]ElemID, 4*k)
+	for f := Face(0); f < NumFaces; f++ {
+		for j := 0; j < m.ne; j++ {
+			for i := 0; i < m.ne; i++ {
+				id := m.ID(f, i, j)
+				for _, c := range [4][2]int{{i, j}, {i + 1, j}, {i, j + 1}, {i + 1, j + 1}} {
+					key := m.cornerNode(f, c[0], c[1])
+					nodeElems[key] = append(nodeElems[key], id)
+				}
+			}
+		}
+	}
+	shared := make([]map[ElemID]int, k)
+	for i := range shared {
+		shared[i] = make(map[ElemID]int, 8)
+	}
+	for _, elems := range nodeElems {
+		for a := 0; a < len(elems); a++ {
+			for b := a + 1; b < len(elems); b++ {
+				e1, e2 := elems[a], elems[b]
+				if e1 == e2 {
+					continue
+				}
+				shared[e1][e2]++
+				shared[e2][e1]++
+			}
+		}
+	}
+	edge = make([][]ElemID, k)
+	corner = make([][]ElemID, k)
+	for e := 0; e < k; e++ {
+		var en, cn []ElemID
+		for nbr, cnt := range shared[e] {
+			switch {
+			case cnt >= 2:
+				en = append(en, nbr)
+			case cnt == 1:
+				cn = append(cn, nbr)
+			}
+		}
+		sort.Slice(en, func(a, b int) bool { return en[a] < en[b] })
+		sort.Slice(cn, func(a, b int) bool { return cn[a] < cn[b] })
+		edge[e] = en
+		corner[e] = cn
+	}
+	return edge, corner
+}
+
+func elemSlicesEqual(a, b []ElemID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAnalyticAdjacencyMatchesOracle checks the analytic resolver (both the
+// materialised lists built from it and the deferred per-call path) against
+// the retired map-based construction, for every element at a spread of mesh
+// sizes including the degenerate ne=1 cube and the even/odd boundary cases.
+func TestAnalyticAdjacencyMatchesOracle(t *testing.T) {
+	for _, ne := range []int{1, 2, 3, 4, 5, 8, 9, 12, 16} {
+		m := mustMesh(t, ne)
+		md, err := NewDeferred(ne)
+		if err != nil {
+			t.Fatalf("NewDeferred(%d): %v", ne, err)
+		}
+		if !md.Deferred() || m.Deferred() {
+			t.Fatalf("ne=%d: Deferred flags wrong (materialised=%v deferred=%v)", ne, m.Deferred(), md.Deferred())
+		}
+		wantE, wantC := oracleTopology(m)
+		var ebuf, cbuf []ElemID
+		for e := 0; e < m.NumElems(); e++ {
+			id := ElemID(e)
+			if got := m.EdgeNeighbors(id); !elemSlicesEqual(got, wantE[e]) {
+				t.Fatalf("ne=%d elem %d: EdgeNeighbors=%v, oracle %v", ne, e, got, wantE[e])
+			}
+			if got := m.CornerNeighbors(id); !elemSlicesEqual(got, wantC[e]) {
+				t.Fatalf("ne=%d elem %d: CornerNeighbors=%v, oracle %v", ne, e, got, wantC[e])
+			}
+			if got := md.EdgeNeighbors(id); !elemSlicesEqual(got, wantE[e]) {
+				t.Fatalf("ne=%d elem %d: deferred EdgeNeighbors=%v, oracle %v", ne, e, got, wantE[e])
+			}
+			if got := md.CornerNeighbors(id); !elemSlicesEqual(got, wantC[e]) {
+				t.Fatalf("ne=%d elem %d: deferred CornerNeighbors=%v, oracle %v", ne, e, got, wantC[e])
+			}
+			ebuf, cbuf = md.NeighborsInto(id, ebuf[:0], cbuf[:0])
+			if !elemSlicesEqual(ebuf, wantE[e]) || !elemSlicesEqual(cbuf, wantC[e]) {
+				t.Fatalf("ne=%d elem %d: NeighborsInto=(%v,%v), oracle (%v,%v)",
+					ne, e, ebuf, cbuf, wantE[e], wantC[e])
+			}
+		}
+	}
+}
+
+// TestNeighborsDeferredMatchesMaterialized checks the merged Neighbors view
+// agrees between the two construction modes.
+func TestNeighborsDeferredMatchesMaterialized(t *testing.T) {
+	m := mustMesh(t, 6)
+	md, err := NewDeferred(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < m.NumElems(); e++ {
+		if got, want := md.Neighbors(ElemID(e)), m.Neighbors(ElemID(e)); !elemSlicesEqual(got, want) {
+			t.Fatalf("elem %d: deferred Neighbors=%v, materialised %v", e, got, want)
+		}
+	}
+}
+
+// TestNewAutoDefersLargeMeshes pins the NewAuto switchover: below the
+// threshold the mesh is materialised, at or above it adjacency is deferred.
+func TestNewAutoDefersLargeMeshes(t *testing.T) {
+	small, err := NewAuto(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Deferred() {
+		t.Errorf("NewAuto(8): want materialised, got deferred")
+	}
+	// Smallest ne with 6*ne^2 >= 2^17 is 148.
+	large, err := NewAuto(148)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !large.Deferred() {
+		t.Errorf("NewAuto(148): want deferred, got materialised")
+	}
+	if NumFaces*147*147 >= DeferAdjacencyThreshold {
+		t.Errorf("threshold drifted: ne=147 should stay below DeferAdjacencyThreshold")
+	}
+}
+
+// TestNeighborsIntoAllocFree checks the streaming contract: once the caller
+// reuses buffers, deferred adjacency queries allocate nothing.
+func TestNeighborsIntoAllocFree(t *testing.T) {
+	md, err := NewDeferred(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ebuf := make([]ElemID, 0, 16)
+	cbuf := make([]ElemID, 0, 16)
+	k := md.NumElems()
+	allocs := testing.AllocsPerRun(10, func() {
+		for e := 0; e < k; e++ {
+			ebuf, cbuf = md.NeighborsInto(ElemID(e), ebuf[:0], cbuf[:0])
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("NeighborsInto with reused buffers: %v allocs/run, want 0", allocs)
+	}
+}
+
+func BenchmarkNewNe48(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := New(48); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeferredAdjacencySweepNe48(b *testing.B) {
+	md, err := NewDeferred(48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := md.NumElems()
+	var ebuf, cbuf []ElemID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for e := 0; e < k; e++ {
+			ebuf, cbuf = md.NeighborsInto(ElemID(e), ebuf[:0], cbuf[:0])
+		}
+	}
+}

@@ -21,7 +21,18 @@ func coarsen(g *wgraph, coarsenTo int, rng *prng, ws *workspace, stop *stopper) 
 		if stop.stopped() {
 			break
 		}
-		cmap, nc := heavyEdgeMatch(cur, rng, ws)
+		// Above the parallel threshold, matching fans out over fixed vertex
+		// blocks with per-block RNG streams (byte-identical at any
+		// GOMAXPROCS); the path choice depends only on the vertex count, so
+		// it is itself deterministic. One sequential draw per level keeps
+		// the level seeds a pure function of the partition seed.
+		var cmap []int32
+		var nc int
+		if cur.n() >= parCoarsenMinVertices {
+			cmap, nc = heavyEdgeMatchBlocked(cur, rng.next(), ws)
+		} else {
+			cmap, nc = heavyEdgeMatch(cur, rng, ws)
+		}
 		if nc >= cur.n() || float64(nc) > 0.95*float64(cur.n()) {
 			break // matching stalled; stop coarsening
 		}
@@ -71,8 +82,13 @@ func heavyEdgeMatch(g *wgraph, rng *prng, ws *workspace) (cmap []int32, nc int) 
 			match[v] = v
 		}
 	}
-	// Number coarse vertices: the lower-indexed endpoint of each pair owns
-	// the coarse id.
+	return numberMatches(match, n)
+}
+
+// numberMatches assigns sequential coarse ids to a completed matching: the
+// lower-indexed endpoint of each pair owns the coarse id. Shared by the
+// sequential and blocked matchers so both number identically.
+func numberMatches(match []int32, n int) (cmap []int32, nc int) {
 	cmap = make([]int32, n)
 	for i := range cmap {
 		cmap[i] = -1
@@ -93,11 +109,22 @@ func heavyEdgeMatch(g *wgraph, rng *prng, ws *workspace) (cmap []int32, nc int) 
 
 // contract builds the coarse graph induced by cmap. Edge weights between
 // coarse vertices are the sums of the fine edge weights; edges internal to a
-// coarse vertex disappear. Vertex weights and sizes are summed. All scratch
-// (member ordering, row positions, stamps) lives in the workspace; only the
-// coarse graph itself — which must outlive this call as a V-cycle level —
-// is allocated.
+// coarse vertex disappear. Vertex weights and sizes are summed. Large
+// coarse graphs route to the chunk-parallel exact-size contraction, which
+// emits bitwise-identical rows (the dispatch depends only on nc, so the
+// choice itself is deterministic).
 func contract(g *wgraph, cmap []int32, nc int, ws *workspace) *wgraph {
+	if nc >= parCoarsenMinVertices {
+		return contractParallel(g, cmap, nc, ws)
+	}
+	return contractSerial(g, cmap, nc, ws)
+}
+
+// contractSerial is the single-goroutine contraction. All scratch (member
+// ordering, row positions, stamps) lives in the workspace; only the coarse
+// graph itself — which must outlive this call as a V-cycle level — is
+// allocated.
+func contractSerial(g *wgraph, cmap []int32, nc int, ws *workspace) *wgraph {
 	coarse := &wgraph{
 		xadj:  make([]int32, nc+1),
 		vwgt:  make([]int32, nc),

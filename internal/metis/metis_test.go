@@ -2,6 +2,7 @@ package metis
 
 import (
 	"math/rand"
+	"os"
 	"testing"
 
 	"sfccube/internal/graph"
@@ -414,4 +415,29 @@ func mustMesh(tb testing.TB, ne int) *mesh.Mesh {
 		tb.Fatal(err)
 	}
 	return m
+}
+
+// BenchmarkRBK1536P12288 is the 14-million-element stress case: recursive
+// bisection of the Ne=1536 dual graph (K=14,155,776) into 12,288 parts.
+// Multiple minutes of work on one core, so it only runs when SCALE_BENCH=1
+// (see TESTING.md, "Scale tier"); its BENCH_metis.json entry is refreshed by
+// hand, not by the CI gate.
+func BenchmarkRBK1536P12288(b *testing.B) {
+	if os.Getenv("SCALE_BENCH") == "" {
+		b.Skip("set SCALE_BENCH=1 to run the 14M-element benchmark")
+	}
+	m, err := mesh.NewDeferred(1536)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := graph.FromMesh(m, graph.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(g, 12288, Options{Method: RB}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

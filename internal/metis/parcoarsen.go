@@ -1,0 +1,183 @@
+package metis
+
+import (
+	"sfccube/internal/par"
+)
+
+// Parallel coarsening for the million-element regime. Matching fans out
+// over fixed-size vertex blocks the same way recursive bisection fans out
+// subtrees: each block gets its own splitmix64 stream derived from a per
+// level seed, so the matching is a pure function of (graph, seed) and
+// byte-identical at any GOMAXPROCS. Contraction fans out over coarse-id
+// ranges; its output is fully determined by cmap and the member order, so
+// chunking (which does vary with GOMAXPROCS) cannot change a byte.
+const (
+	// parCoarsenMinVertices gates the parallel matching and contraction
+	// paths. The threshold is chosen above every golden/differential test
+	// regime (Ne=48 has 13824 elements) so the small-regime RNG streams and
+	// their recorded metrics stay bit-identical, while Ne>=96 (55296
+	// elements) and the whole million-element regime take the blocked path.
+	parCoarsenMinVertices = 1 << 15
+	// matchBlockSize is the fixed vertex-block width of blocked matching.
+	// It must NOT depend on GOMAXPROCS: the block decomposition determines
+	// the matching content, so it has to be a pure function of the graph.
+	matchBlockSize = 1 << 13
+	// parContractChunk is the minimum coarse-vertex chunk per contraction
+	// worker; each worker carries O(nc) stamp scratch, so chunks are kept
+	// coarse to bound the number of scratch arrays.
+	parContractChunk = 1 << 14
+)
+
+// heavyEdgeMatchBlocked computes a heavy-edge matching over fixed blocks of
+// matchBlockSize vertices: block b shuffles its vertices with the stream
+// childSeed(seed, b) and matches only within the block, so blocks touch
+// disjoint state and can run concurrently while remaining byte-identical to
+// a sequential sweep of the same blocks. Cross-block edges are never
+// matching candidates — with locality-ordered element ids the loss is a
+// sliver of matching quality at the block seams, paid for a matching pass
+// that scales with cores.
+func heavyEdgeMatchBlocked(g *wgraph, seed uint64, ws *workspace) (cmap []int32, nc int) {
+	n := g.n()
+	match := growI32(ws.match, n)
+	ws.match = match
+	perm := growI32(ws.perm, n)
+	ws.perm = perm
+	nb := (n + matchBlockSize - 1) / matchBlockSize
+	par.ForBlocks(nb, func(b int) {
+		lo := b * matchBlockSize
+		hi := lo + matchBlockSize
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			match[i] = -1
+			perm[i] = int32(i)
+		}
+		rng := newPRNG(childSeed(seed, uint64(b)))
+		blk := perm[lo:hi]
+		rng.Shuffle(len(blk), func(i, j int) { blk[i], blk[j] = blk[j], blk[i] })
+		for _, v := range blk {
+			if match[v] >= 0 {
+				continue
+			}
+			adj, wgt := g.deg(v)
+			best := int32(-1)
+			var bestW int32 = -1
+			for i, u := range adj {
+				// Only same-block candidates: match[u] for foreign u is
+				// owned by another goroutine and must not be read.
+				if int(u) >= lo && int(u) < hi && match[u] < 0 && wgt[i] > bestW {
+					best, bestW = u, wgt[i]
+				}
+			}
+			if best >= 0 {
+				match[v] = best
+				match[best] = v
+			} else {
+				match[v] = v
+			}
+		}
+	})
+	return numberMatches(match, n)
+}
+
+// contractParallel builds the coarse graph induced by cmap with exact-size
+// CSR arrays: a counting pass sizes every coarse row, a fill pass writes it
+// in place. Both passes run over coarse-id chunks concurrently with private
+// stamp scratch; every row's content is a pure function of (g, cmap, member
+// order), so the result is bitwise equal to the sequential contraction
+// regardless of chunking.
+func contractParallel(g *wgraph, cmap []int32, nc int, ws *workspace) *wgraph {
+	coarse := &wgraph{
+		xadj:  make([]int32, nc+1),
+		vwgt:  make([]int32, nc),
+		vsize: make([]int32, nc),
+	}
+	n := g.n()
+	for v := 0; v < n; v++ {
+		c := cmap[v]
+		coarse.vwgt[c] += g.vwgt[v]
+		coarse.vsize[c] += g.vsize[v]
+	}
+	// Order fine vertices by coarse owner (counting sort), as in the
+	// sequential contraction; this member order is what fixes the emission
+	// order of every coarse row.
+	mstart := growI32(ws.mstart, nc+1)
+	ws.mstart = mstart
+	for i := 0; i <= nc; i++ {
+		mstart[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		mstart[cmap[v]+1]++
+	}
+	for c := 0; c < nc; c++ {
+		mstart[c+1] += mstart[c]
+	}
+	morder := growI32(ws.morder, n)
+	ws.morder = morder
+	pos := growI32(ws.pos, nc)
+	ws.pos = pos
+	copy(pos, mstart[:nc])
+	for v := int32(0); v < int32(n); v++ {
+		c := cmap[v]
+		morder[pos[c]] = v
+		pos[c]++
+	}
+	// Pass 1: exact row degrees.
+	par.ForChunks(nc, parContractChunk, func(clo, chi int) {
+		stamp := make([]int32, nc)
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		for c := int32(clo); c < int32(chi); c++ {
+			cnt := int32(0)
+			for _, v := range morder[mstart[c]:mstart[c+1]] {
+				a, _ := g.deg(v)
+				for _, u := range a {
+					cu := cmap[u]
+					if cu != c && stamp[cu] != c {
+						stamp[cu] = c
+						cnt++
+					}
+				}
+			}
+			coarse.xadj[c+1] = cnt
+		}
+	})
+	for c := 0; c < nc; c++ {
+		coarse.xadj[c+1] += coarse.xadj[c]
+	}
+	m := coarse.xadj[nc]
+	coarse.adj = make([]int32, m)
+	coarse.ewgt = make([]int32, m)
+	// Pass 2: fill rows in place, accumulating parallel fine edges.
+	par.ForChunks(nc, parContractChunk, func(clo, chi int) {
+		stamp := make([]int32, nc)
+		rowPos := make([]int32, nc)
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		for c := int32(clo); c < int32(chi); c++ {
+			p := coarse.xadj[c]
+			for _, v := range morder[mstart[c]:mstart[c+1]] {
+				a, w := g.deg(v)
+				for i, u := range a {
+					cu := cmap[u]
+					if cu == c {
+						continue // internal edge
+					}
+					if stamp[cu] != c {
+						stamp[cu] = c
+						rowPos[cu] = p
+						coarse.adj[p] = cu
+						coarse.ewgt[p] = w[i]
+						p++
+					} else {
+						coarse.ewgt[rowPos[cu]] += w[i]
+					}
+				}
+			}
+		}
+	})
+	return coarse
+}

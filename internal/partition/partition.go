@@ -4,7 +4,11 @@
 // contiguous-segment splitting used by the space-filling-curve partitioner.
 package partition
 
-import "fmt"
+import (
+	"fmt"
+
+	"sfccube/internal/par"
+)
 
 // Partition assigns each of n vertices (spectral elements) to one of
 // nparts parts (processors).
@@ -125,6 +129,10 @@ func LoadBalanceInts(s []int) float64 {
 // prefix walk cuts each segment at the point that brings its weight closest
 // to the remaining average, while always leaving enough items for the
 // remaining parts.
+//
+// The cut points are decided by a sequential O(n) walk (SplitPoints); only
+// the assignment fill fans out across goroutines, so the result is
+// byte-identical at any GOMAXPROCS.
 func SplitContiguous(weights []int64, nparts int) ([]int32, error) {
 	n := len(weights)
 	if nparts < 1 {
@@ -147,24 +155,71 @@ func SplitContiguous(weights []int64, nparts int) ([]int32, error) {
 	assign := make([]int32, n)
 	if uniform {
 		// Exact balanced blocks: position i goes to part i*nparts/n.
-		for i := range assign {
-			assign[i] = int32(i * nparts / n)
-		}
+		par.ForChunks(n, splitFillChunk, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				assign[i] = int32(i * nparts / n)
+			}
+		})
 		return assign, nil
 	}
-	// Greedy: for each part, extend the segment while the running weight is
-	// closer to the remaining average than stopping, keeping one item per
-	// remaining part available.
+	starts := splitPoints(weights, nparts, total)
+	// Fill each part's segment; segments are disjoint index ranges.
+	par.ForChunks(nparts, 1, func(plo, phi int) {
+		for part := plo; part < phi; part++ {
+			end := n
+			if part+1 < nparts {
+				end = starts[part+1]
+			}
+			for i := starts[part]; i < end; i++ {
+				assign[i] = int32(part)
+			}
+		}
+	})
+	return assign, nil
+}
+
+// splitFillChunk is the minimum chunk size for parallel assignment fills;
+// below this the loop is memory-bandwidth trivial and goroutines cost more
+// than they save.
+const splitFillChunk = 1 << 15
+
+// SplitPoints returns the starting position of every part's segment for the
+// weighted contiguous split of SplitContiguous (starts[0] is always 0).
+// Weights must be positive and 1 <= nparts <= len(weights).
+func SplitPoints(weights []int64, nparts int) ([]int, error) {
+	n := len(weights)
+	if nparts < 1 {
+		return nil, fmt.Errorf("partition: nparts must be >= 1, got %d", nparts)
+	}
+	if nparts > n {
+		return nil, fmt.Errorf("partition: cannot split %d items into %d non-empty parts", n, nparts)
+	}
+	var total int64
+	for _, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("partition: non-positive weight %d", w)
+		}
+		total += w
+	}
+	return splitPoints(weights, nparts, total), nil
+}
+
+// splitPoints runs the greedy prefix walk: for each part, extend the segment
+// while the running weight is closer to the remaining average than stopping,
+// keeping one item per remaining part available. This is the sequential
+// decision kernel of the SFC split; everything downstream of it is pure
+// fill.
+func splitPoints(weights []int64, nparts int, total int64) []int {
+	n := len(weights)
+	starts := make([]int, nparts)
 	pos := 0
 	remaining := total
 	for part := 0; part < nparts; part++ {
+		starts[part] = pos
 		partsLeft := nparts - part
 		target := float64(remaining) / float64(partsLeft)
 		// The last part takes everything left.
 		if part == nparts-1 {
-			for ; pos < n; pos++ {
-				assign[pos] = int32(part)
-			}
 			break
 		}
 		var acc int64
@@ -174,14 +229,12 @@ func SplitContiguous(weights []int64, nparts int) ([]int32, error) {
 			// Always take at least one item.
 			if pos == start {
 				acc += w
-				assign[pos] = int32(part)
 				pos++
 				continue
 			}
 			// Take the next item only if it brings us closer to target.
 			if absF(float64(acc+w)-target) <= absF(float64(acc)-target) {
 				acc += w
-				assign[pos] = int32(part)
 				pos++
 				continue
 			}
@@ -189,7 +242,7 @@ func SplitContiguous(weights []int64, nparts int) ([]int32, error) {
 		}
 		remaining -= acc
 	}
-	return assign, nil
+	return starts
 }
 
 func absF(x float64) float64 {

@@ -1,0 +1,7 @@
+// Package scale holds the scale-tier test suite: end-to-end partitioning
+// runs in the million-element regime (Ne >= 384, the paper's production
+// resolutions scaled up ~100x) plus the GOMAXPROCS-determinism checks for
+// the parallel SFC path. The package has no library code — it exists so the
+// expensive tests live apart from the per-package unit tests and can be
+// skipped wholesale with -short (see TESTING.md for the tier policy).
+package scale

@@ -1,0 +1,9 @@
+//go:build race
+
+package scale
+
+// raceEnabled gates the Ne=384 end-to-end run: under the race detector the
+// memory and time cost of a million-element walk is ~10x, so the big run
+// stays in the non-race tier while the determinism tests (the ones the
+// detector is for) still run with -race.
+const raceEnabled = true

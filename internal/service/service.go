@@ -144,6 +144,16 @@ type Config struct {
 	// DefaultDeadline is the compute budget applied when a request
 	// carries none; 0 means unbounded.
 	DefaultDeadline time.Duration
+	// LargeNe is the threshold at or above which a request enters the
+	// large-problem regime: the mesh keeps its adjacency deferred (O(Ne)
+	// index instead of O(Ne^2) neighbour tables), "auto" resolves to the
+	// SFC-first chain (linear-time cuts instead of multilevel refinement)
+	// and LargeDeadline applies. Default 256 (393k elements); negative
+	// disables the regime entirely.
+	LargeNe int
+	// LargeDeadline is the compute budget for large-regime requests that
+	// carry none; 0 falls back to DefaultDeadline.
+	LargeDeadline time.Duration
 	// Registry receives the service metrics; nil disables them (nil-safe
 	// handles).
 	Registry *obs.Registry
@@ -165,6 +175,7 @@ type Service struct {
 	sfShared     *obs.Counter
 	degraded     *obs.Counter
 	failures     *obs.Counter
+	large        *obs.Counter
 	computeNs    *obs.Histogram
 	cacheBytes   *obs.Gauge
 	cacheEntries *obs.Gauge
@@ -174,6 +185,9 @@ type Service struct {
 func NewService(cfg Config) *Service {
 	if cfg.MaxNe <= 0 {
 		cfg.MaxNe = 128
+	}
+	if cfg.LargeNe == 0 {
+		cfg.LargeNe = 256
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -186,6 +200,7 @@ func NewService(cfg Config) *Service {
 	reg.Help("partsrv_singleflight_shared_total", "Requests that joined another caller's in-flight computation.")
 	reg.Help("partsrv_degraded_total", "Responses produced under deadline pressure (fallback past the requested method).")
 	reg.Help("partsrv_failures_total", "Requests that failed after validation (exhausted chains, internal errors).")
+	reg.Help("partsrv_large_total", "Computations routed through the large-problem regime (deferred mesh, SFC-first auto chain).")
 	reg.Help("partsrv_compute_ns", "Wall time of executed partition computations.")
 	reg.Help("partsrv_cache_bytes", "Current response-cache payload size.")
 	reg.Help("partsrv_cache_entries", "Current response-cache entry count.")
@@ -200,6 +215,7 @@ func NewService(cfg Config) *Service {
 		sfShared:     reg.Counter("partsrv_singleflight_shared_total"),
 		degraded:     reg.Counter("partsrv_degraded_total"),
 		failures:     reg.Counter("partsrv_failures_total"),
+		large:        reg.Counter("partsrv_large_total"),
 		computeNs:    reg.Histogram("partsrv_compute_ns"),
 		cacheBytes:   reg.Gauge("partsrv_cache_bytes"),
 		cacheEntries: reg.Gauge("partsrv_cache_entries"),
@@ -307,15 +323,26 @@ func (s *Service) Partition(ctx context.Context, req Request) ([]byte, Meta, err
 	return out.payload, Meta{Shared: shared, Degraded: out.degraded, Elapsed: time.Since(start)}, nil
 }
 
+// isLarge reports whether ne falls in the large-problem regime.
+func (s *Service) isLarge(ne int) bool { return s.cfg.LargeNe > 0 && ne >= s.cfg.LargeNe }
+
 // compute runs one partition computation on the worker pool and encodes the
 // response. The compute context is detached from the caller (see Partition)
 // and bounded by the request deadline, the server default, or nothing.
 // deadlineMS < 0 starts with the budget already spent — the degradation
 // ladder's fast path.
+//
+// Requests at or above Config.LargeNe take the large-problem path: the mesh
+// defers its neighbour tables (the SFC strategies never read them, and the
+// graph build streams rows on the fly), "auto" starts at SFC instead of the
+// multilevel methods, and LargeDeadline bounds the work. The routing depends
+// only on (Ne, server config), so cached answers stay deterministic; it is
+// not deadline degradation and does not mark the response Degraded.
 func (s *Service) compute(ctx context.Context, canon canonicalRequest, key string, deadlineMS int64) (payload []byte, degraded bool, err error) {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 
+	large := s.isLarge(canon.Ne)
 	cctx := context.WithoutCancel(ctx)
 	var cancel context.CancelFunc
 	switch {
@@ -323,6 +350,8 @@ func (s *Service) compute(ctx context.Context, canon canonicalRequest, key strin
 		cctx, cancel = context.WithDeadline(cctx, time.Unix(0, 0))
 	case deadlineMS > 0:
 		cctx, cancel = context.WithTimeout(cctx, time.Duration(deadlineMS)*time.Millisecond)
+	case large && s.cfg.LargeDeadline > 0:
+		cctx, cancel = context.WithTimeout(cctx, s.cfg.LargeDeadline)
 	case s.cfg.DefaultDeadline > 0:
 		cctx, cancel = context.WithTimeout(cctx, s.cfg.DefaultDeadline)
 	default:
@@ -331,7 +360,7 @@ func (s *Service) compute(ctx context.Context, canon canonicalRequest, key strin
 	defer cancel()
 
 	t0 := time.Now()
-	m, err := mesh.New(canon.Ne)
+	m, err := mesh.NewAuto(canon.Ne)
 	if err != nil {
 		return nil, false, err
 	}
@@ -343,6 +372,12 @@ func (s *Service) compute(ctx context.Context, canon canonicalRequest, key strin
 	spec.Seed = canon.Seed
 	spec.MaxLB = canon.MaxLB
 	spec.Chain = methodChains[canon.Method]
+	if large {
+		s.large.Inc()
+		if canon.Method == "auto" {
+			spec.Chain = resilience.RepartitionChain
+		}
+	}
 	spec.Mesh, spec.Graph = m, g
 	res, err := resilience.PartitionWithFallback(cctx, spec)
 	if err != nil {

@@ -358,3 +358,70 @@ func TestStatsMatchIndependentOracle(t *testing.T) {
 		t.Errorf("served stats %+v disagree with recomputation %+v", resp.Stats, want)
 	}
 }
+
+// TestLargeRegimeRouting: a request at or above LargeNe must route "auto"
+// through the SFC-first chain (no multilevel attempt), count on the
+// partsrv_large_total metric, and still produce a valid partition. A request
+// below the threshold keeps the quality-first chain.
+func TestLargeRegimeRouting(t *testing.T) {
+	s := newTestService(t, Config{MaxNe: 64, LargeNe: 32})
+	// Below threshold: auto resolves to the quality-first chain.
+	payload, _, err := s.Partition(context.Background(), Request{Ne: 16, NParts: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := decodeResponse(t, payload); resp.Strategy != string(resilience.StrategyKWay) {
+		t.Errorf("small auto request used %s, want KWAY", resp.Strategy)
+	}
+	if got := counter(t, s, "partsrv_large_total"); got != 0 {
+		t.Errorf("partsrv_large_total = %v after a small request", got)
+	}
+	// At threshold: auto resolves to SFC without any abandoned attempts
+	// (routing, not degradation).
+	payload, meta, err := s.Partition(context.Background(), Request{Ne: 32, NParts: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := decodeResponse(t, payload)
+	if resp.Strategy != string(resilience.StrategySFC) {
+		t.Errorf("large auto request used %s, want SFC", resp.Strategy)
+	}
+	if resp.Degraded || meta.Degraded || len(resp.Attempts) != 0 {
+		t.Errorf("large-regime routing marked degraded: %+v", resp)
+	}
+	validate(t, resp)
+	if got := counter(t, s, "partsrv_large_total"); got != 1 {
+		t.Errorf("partsrv_large_total = %v, want 1", got)
+	}
+}
+
+// TestLargeRegimeExplicitMethodUnchanged: the large regime rewires only
+// "auto" — an explicit method keeps its own ladder.
+func TestLargeRegimeExplicitMethodUnchanged(t *testing.T) {
+	s := newTestService(t, Config{MaxNe: 64, LargeNe: 32})
+	payload, _, err := s.Partition(context.Background(), Request{Ne: 32, NParts: 24, Method: "rb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := decodeResponse(t, payload); resp.Strategy != string(resilience.StrategyRB) {
+		t.Errorf("explicit rb at large Ne used %s", resp.Strategy)
+	}
+	if got := counter(t, s, "partsrv_large_total"); got != 1 {
+		t.Errorf("partsrv_large_total = %v, want 1 (explicit methods still count)", got)
+	}
+}
+
+// TestLargeRegimeDisabled: negative LargeNe turns the regime off entirely.
+func TestLargeRegimeDisabled(t *testing.T) {
+	s := newTestService(t, Config{MaxNe: 64, LargeNe: -1})
+	payload, _, err := s.Partition(context.Background(), Request{Ne: 32, NParts: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := decodeResponse(t, payload); resp.Strategy != string(resilience.StrategyKWay) {
+		t.Errorf("regime disabled but auto used %s", resp.Strategy)
+	}
+	if got := counter(t, s, "partsrv_large_total"); got != 0 {
+		t.Errorf("partsrv_large_total = %v with regime disabled", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sfccube/internal/mesh"
+	"sfccube/internal/par"
 )
 
 // defaultFacePath is the preferred order in which the curve visits the six
@@ -212,21 +213,30 @@ func isEdgeNeighbor(m *mesh.Mesh, a, b mesh.ElemID) bool {
 	return false
 }
 
-// build materialises the global visit order.
+// build materialises the global visit order. The six faces occupy fixed
+// rank ranges [fi*P^2, (fi+1)*P^2), so each face's segment and the inverse
+// rank table fill in parallel over disjoint writes; the content of every
+// entry depends only on its index, making the result byte-identical at any
+// GOMAXPROCS.
 func (cc *CubeCurve) build(base *Curve) {
 	k := cc.m.NumElems()
-	cc.order = make([]mesh.ElemID, 0, k)
+	perFace := k / mesh.NumFaces
+	cc.order = make([]mesh.ElemID, k)
 	cc.rank = make([]int, k)
-	for _, f := range cc.path {
+	par.ForBlocks(len(cc.path), func(fi int) {
+		f := cc.path[fi]
 		t := cc.xf[f]
-		for _, p := range base.Order() {
+		out := cc.order[fi*perFace : (fi+1)*perFace]
+		for i, p := range base.Order() {
 			q := t.Apply(p, base.Side())
-			cc.order = append(cc.order, cc.m.ID(f, q.X, q.Y))
+			out[i] = cc.m.ID(f, q.X, q.Y)
 		}
-	}
-	for r, id := range cc.order {
-		cc.rank[id] = r
-	}
+	})
+	par.ForChunks(k, 1<<15, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			cc.rank[cc.order[r]] = r
+		}
+	})
 }
 
 // Mesh returns the underlying mesh.
