@@ -7,6 +7,7 @@
 package sfccube_test
 
 import (
+	"runtime"
 	"testing"
 
 	"sfccube/internal/core"
@@ -292,10 +293,11 @@ func BenchmarkDSSApply(b *testing.B) {
 
 // BenchmarkRunnerStep measures one full RK4 step of the parallel runner in
 // the paper's most oversubscribed configuration: K=384 elements on 384
-// ranks (one element per rank), where the capped work-stealing scheduler
-// replaces the seed's goroutine-per-rank execution. The acceptance bar for
-// the flat-slab rework was >= 1.5x over the seed at this configuration; see
-// BENCH_seam.json for the recorded trajectory.
+// ranks (one element per rank), under the dependency-driven epoch scheduler
+// (or its zero-synchronisation serial fast path when only one worker is
+// available). The acceptance bar for the raw-speed-ceiling rework was >= 2x
+// over the previous baseline at this configuration; see BENCH_seam.json for
+// the recorded trajectory.
 func BenchmarkRunnerStep(b *testing.B) {
 	sw, dt := benchSEAM(b)
 	res, err := core.PartitionCubedSphere(core.Config{Ne: 8, NProcs: 384})
@@ -313,7 +315,7 @@ func BenchmarkRunnerStep(b *testing.B) {
 }
 
 // BenchmarkRunnerStepObs is BenchmarkRunnerStep with a live obs.Registry
-// attached: every stage span, DSS assembly, barrier wait and per-rank busy
+// attached: every stage span, DSS assembly, epoch wait and per-rank busy
 // gauge is recorded. The acceptance bar for the observability layer is <=5%
 // overhead versus BenchmarkRunnerStep (and <1% for the default nil-registry
 // path, which BenchmarkRunnerStep itself exercises since instrumentation is
@@ -333,6 +335,58 @@ func BenchmarkRunnerStepObs(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Run(1, dt)
+	}
+}
+
+// benchRunnerStepP measures BenchmarkRunnerStep at a pinned parallelism:
+// GOMAXPROCS and Runner.Workers both set to p, so the recorded curve
+// (BENCH_seam.json runner_step_p{1,2,4}_ns_per_op) is the scheduler's
+// scaling behaviour, not whatever the host machine happens to expose. P1
+// exercises the serial fast path; P2/P4 the epoch scheduler. On a
+// single-core host P2/P4 measure scheduler overhead under time-slicing
+// rather than speedup — the curve is recorded either way.
+func benchRunnerStepP(b *testing.B, p int) {
+	prev := runtime.GOMAXPROCS(p)
+	defer runtime.GOMAXPROCS(prev)
+	sw, dt := benchSEAM(b)
+	res, err := core.PartitionCubedSphere(core.Config{Ne: 8, NProcs: 384})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := seam.NewRunner(sw, res.Partition.Assignment(), 384)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.Workers = p
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(1, dt)
+	}
+}
+
+func BenchmarkRunnerStepP1(b *testing.B) { benchRunnerStepP(b, 1) }
+func BenchmarkRunnerStepP2(b *testing.B) { benchRunnerStepP(b, 2) }
+func BenchmarkRunnerStepP4(b *testing.B) { benchRunnerStepP(b, 4) }
+
+// BenchmarkDiffAlphaBeta measures the spectral differentiation micro-kernel
+// (both directions of one Np=8 element) and asserts, via -benchmem in the
+// regression run, that it allocates nothing.
+func BenchmarkDiffAlphaBeta(b *testing.B) {
+	g, err := seam.NewGrid(2, 7, seam.EarthRadius, seam.EarthOmega)
+	if err != nil {
+		b.Fatal(err)
+	}
+	npts := g.PointsPerElem()
+	u := make([]float64, npts)
+	for i := range u {
+		u[i] = float64(i%7) - 3
+	}
+	dua := make([]float64, npts)
+	dub := make([]float64, npts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.DiffAlphaBeta(u, dua, dub)
 	}
 }
 

@@ -55,6 +55,13 @@ var keyOf = map[string]string{
 	// baseline is refreshed by hand.
 	"BenchmarkSFCParallelNe384": "sfc_parallel_ne384_ns_per_op",
 	"BenchmarkRBK1536P12288":    "rb_ne1536_p12288_ns_per_op",
+	// Raw-speed ceiling (PR 8): the pinned-parallelism scaling curve of the
+	// epoch scheduler (P1 = serial fast path, P2/P4 = dataflow workers) and
+	// the zero-alloc differentiation micro-kernel.
+	"BenchmarkRunnerStepP1":  "runner_step_p1_ns_per_op",
+	"BenchmarkRunnerStepP2":  "runner_step_p2_ns_per_op",
+	"BenchmarkRunnerStepP4":  "runner_step_p4_ns_per_op",
+	"BenchmarkDiffAlphaBeta": "diff_alpha_beta_ns_per_op",
 }
 
 // Result is one benchmark's comparison in the delta artifact.

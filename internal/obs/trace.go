@@ -21,8 +21,12 @@ const (
 	// EvDSS is one rank's DSS assembly span of one RK stage
 	// (Arg: bytes the rank exchanges in that stage).
 	EvDSS
-	// EvBarrier is one worker's wait at a phase barrier (Arg: worker id).
-	EvBarrier
+	// EvWait is one worker's scheduling wait — parked until a rank's
+	// dependencies committed under the epoch scheduler (formerly the
+	// phase-barrier wait). Step/Stage/Rank name the task the wait delayed;
+	// Arg is the worker id. Wait events are schedule-shaped, so they are
+	// only recorded outside deterministic mode.
+	EvWait
 	// EvCheckpoint is a checkpoint write (Arg: encoded bytes).
 	EvCheckpoint
 	// EvRecovery is a resilience recovery action (Arg unused); the rank
@@ -33,7 +37,7 @@ const (
 )
 
 var eventKindNames = [...]string{
-	EvStep: "step", EvStage: "stage", EvDSS: "dss", EvBarrier: "barrier",
+	EvStep: "step", EvStage: "stage", EvDSS: "dss", EvWait: "wait",
 	EvCheckpoint: "checkpoint", EvRecovery: "recovery", EvSim: "sim",
 }
 

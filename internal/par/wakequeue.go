@@ -1,0 +1,86 @@
+package par
+
+import (
+	"sync"
+	"time"
+)
+
+// WakeQueue is the closeable FIFO at the heart of a dependency-driven
+// scheduler: worker goroutines Pop ready track ids, whoever satisfies a
+// track's last dependency Pushes it. The caller maintains the single-entry
+// discipline (at most one queue entry per track at any moment, typically via
+// a per-track CAS on an idle/enqueued flag), which bounds the queue at one
+// slot per track and makes Push non-blocking.
+//
+// Close releases every parked and future Pop with ok = false; it is
+// idempotent, so both normal completion (last task done) and abort paths can
+// call it. Pop optionally measures the time it spent parked, which is how
+// the SEAM runner attributes epoch-wait time without any global barrier.
+type WakeQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []int32
+	head   int
+	n      int
+	closed bool
+}
+
+// NewWakeQueue returns a queue with capacity slots (one per track).
+func NewWakeQueue(capacity int) *WakeQueue {
+	q := &WakeQueue{buf: make([]int32, capacity)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues id and wakes one parked worker. The caller's single-entry
+// discipline guarantees space; a violation panics rather than corrupting the
+// ring.
+func (q *WakeQueue) Push(id int32) {
+	q.mu.Lock()
+	if q.n == len(q.buf) {
+		q.mu.Unlock()
+		panic("par: WakeQueue overflow — caller broke the single-entry-per-track discipline")
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = id
+	q.n++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// Pop dequeues the oldest id, parking until one is available or the queue is
+// closed (ok = false; drained entries are still delivered first). When
+// measure is true and the queue was empty on arrival, wait reports the time
+// spent parked.
+func (q *WakeQueue) Pop(measure bool) (id int32, wait time.Duration, ok bool) {
+	q.mu.Lock()
+	if q.n == 0 && !q.closed {
+		var t0 time.Time
+		if measure {
+			t0 = time.Now()
+		}
+		for q.n == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if measure {
+			wait = time.Since(t0)
+		}
+	}
+	if q.n == 0 {
+		q.mu.Unlock()
+		return 0, wait, false
+	}
+	id = q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.mu.Unlock()
+	return id, wait, true
+}
+
+// Close permanently releases the queue: every parked and future Pop returns
+// ok = false once the remaining entries drain. Idempotent.
+func (q *WakeQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

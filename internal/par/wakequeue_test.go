@@ -1,0 +1,146 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWakeQueueFIFO(t *testing.T) {
+	q := NewWakeQueue(4)
+	for _, id := range []int32{3, 1, 2} {
+		q.Push(id)
+	}
+	for _, want := range []int32{3, 1, 2} {
+		id, _, ok := q.Pop(false)
+		if !ok || id != want {
+			t.Fatalf("Pop = (%d, %v), want (%d, true)", id, ok, want)
+		}
+	}
+}
+
+func TestWakeQueueOverflowPanics(t *testing.T) {
+	q := NewWakeQueue(2)
+	q.Push(0)
+	q.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("third Push into a 2-slot queue did not panic")
+		}
+	}()
+	q.Push(0) // breaks the single-entry-per-track discipline
+}
+
+func TestWakeQueueCloseDrainsThenReleases(t *testing.T) {
+	q := NewWakeQueue(4)
+	q.Push(7)
+	q.Close()
+	q.Close() // idempotent
+	if id, _, ok := q.Pop(false); !ok || id != 7 {
+		t.Fatalf("Pop after Close = (%d, %v), want the drained entry (7, true)", id, ok)
+	}
+	if _, _, ok := q.Pop(false); ok {
+		t.Fatal("Pop on a closed, empty queue returned ok")
+	}
+}
+
+func TestWakeQueueCloseReleasesParked(t *testing.T) {
+	q := NewWakeQueue(1)
+	done := make(chan bool)
+	go func() {
+		_, _, ok := q.Pop(false)
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond) // let the goroutine park
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("parked Pop returned ok = true after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release the parked Pop")
+	}
+}
+
+func TestWakeQueueMeasuresParkTime(t *testing.T) {
+	q := NewWakeQueue(1)
+	const park = 10 * time.Millisecond
+	go func() {
+		time.Sleep(park)
+		q.Push(5)
+	}()
+	id, wait, ok := q.Pop(true)
+	if !ok || id != 5 {
+		t.Fatalf("Pop = (%d, %v), want (5, true)", id, ok)
+	}
+	if wait < park/2 {
+		t.Errorf("measured wait %v, want >= %v", wait, park/2)
+	}
+	// A Pop that never parks reports zero wait.
+	q.Push(6)
+	if _, wait, _ := q.Pop(true); wait != 0 {
+		t.Errorf("non-parking Pop measured wait %v, want 0", wait)
+	}
+}
+
+// TestWakeQueueConcurrent hammers the queue with the runner's usage pattern:
+// per-track single-entry pushes from many goroutines against a pool of
+// consumers, under -race. Every pushed entry must be popped exactly once.
+func TestWakeQueueConcurrent(t *testing.T) {
+	const tracks, rounds, consumers = 16, 200, 4
+	q := NewWakeQueue(tracks)
+	var enq [tracks]atomic.Int32 // single-entry discipline per track
+	var popped [tracks]atomic.Int32
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				id, _, ok := q.Pop(false)
+				if !ok {
+					return
+				}
+				popped[id].Add(1)
+				enq[id].Store(0)
+			}
+		}()
+	}
+	var total atomic.Int32
+	var prod sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		prod.Add(1)
+		go func(p int) {
+			defer prod.Done()
+			for i := 0; i < rounds; i++ {
+				id := int32((i*4 + p) % tracks)
+				if enq[id].CompareAndSwap(0, 1) {
+					total.Add(1)
+					q.Push(id)
+				}
+			}
+		}(p)
+	}
+	prod.Wait()
+	for { // wait for the consumers to drain before closing
+		var n int32
+		for i := range popped {
+			n += popped[i].Load()
+		}
+		if n == total.Load() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q.Close()
+	wg.Wait()
+	var n int32
+	for i := range popped {
+		n += popped[i].Load()
+	}
+	if n != total.Load() {
+		t.Errorf("popped %d entries, pushed %d", n, total.Load())
+	}
+}

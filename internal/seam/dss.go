@@ -39,6 +39,14 @@ type DSS struct {
 	mass []float64 // quadrature mass per member, aligned with pts
 	den  []float64 // per node: sum of member masses, accumulated in member
 	// order so num/den reproduces the on-the-fly average bitwise
+	rden []float64 // per node: 1/den, used by the vector apply paths to
+	// replace three divisions per node with one precomputed reciprocal. The
+	// scalar paths keep the exact division num/den: when every member holds
+	// the same value the division returns it exactly, which is what makes
+	// Apply preserve integrals of already-continuous fields to roundoff
+	// (TestDSSPreservesContinuousFields); the extra rounding of num*(1/den)
+	// loses that. The vector fallback computes 1/den on the fly — the same
+	// operation — keeping plan and fallback bitwise equal.
 	vgeo []vecGeom // per member: metric + basis for the vector projection
 }
 
@@ -230,6 +238,7 @@ func (d *DSS) buildPlan() {
 	d.pts = make([]int32, 0, nMembers)
 	d.mass = make([]float64, 0, nMembers)
 	d.den = make([]float64, len(d.shared))
+	d.rden = make([]float64, len(d.shared))
 	d.vgeo = make([]vecGeom, 0, nMembers)
 	for s, sn := range d.shared {
 		d.ptr[s] = int32(len(d.pts))
@@ -245,6 +254,7 @@ func (d *DSS) buildPlan() {
 			})
 		}
 		d.den[s] = den
+		d.rden[s] = 1 / den
 	}
 	d.ptr[len(d.shared)] = int32(len(d.pts))
 }
@@ -353,6 +363,9 @@ func (d *DSS) Validate() error {
 		if d.den[s] != den {
 			return fmt.Errorf("seam: plan node %d den %g, want member sum %g", s, d.den[s], den)
 		}
+		if d.rden[s] != 1/den {
+			return fmt.Errorf("seam: plan node %d rden %g, want 1/den %g", s, d.rden[s], 1/den)
+		}
 	}
 	if int(d.ptr[len(d.shared)]) != len(d.pts) || len(d.mass) != len(d.pts) || len(d.vgeo) != len(d.pts) {
 		return fmt.Errorf("seam: plan arrays disagree: ptr end %d, pts %d, mass %d, vgeo %d",
@@ -453,7 +466,8 @@ func (d *DSS) ApplyVector(v1, v2 [][]float64) {
 			sz += m * (u1*ea.Z + u2*eb.Z)
 			den += m
 		}
-		sx, sy, sz = sx/den, sy/den, sz/den
+		rd := 1 / den
+		sx, sy, sz = sx*rd, sy*rd, sz*rd
 		for _, p := range sn.pts {
 			e, idx := int(p)/npts, int(p)%npts
 			ea, eb := g.Ea[e][idx], g.Eb[e][idx]
@@ -487,8 +501,8 @@ func (d *DSS) applyVectorNodeFlat(v1, v2 []float64, s int32) {
 		sy += w * (u1*vg.ea.Y + u2*vg.eb.Y)
 		sz += w * (u1*vg.ea.Z + u2*vg.eb.Z)
 	}
-	den := d.den[s]
-	sx, sy, sz = sx/den, sy/den, sz/den
+	rd := d.rden[s]
+	sx, sy, sz = sx*rd, sy*rd, sz*rd
 	for m := lo; m < hi; m++ {
 		p := d.pts[m]
 		vg := &d.vgeo[m]

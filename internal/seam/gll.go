@@ -26,6 +26,7 @@ type GLL struct {
 	Points []float64 // nodes in ascending order, Points[0] = -1, Points[N] = 1
 	Wts    []float64 // quadrature weights
 	D      []float64 // differentiation matrix, row-major Np x Np: (Du)_i = sum_j D[i*Np+j] u_j
+	Dt     []float64 // transpose of D, row-major Np x Np: Dt[j*Np+i] = D[i*Np+j]
 }
 
 // NewGLL constructs the GLL rule of degree n >= 1.
@@ -39,10 +40,16 @@ func NewGLL(n int) (*GLL, error) {
 		Points: make([]float64, np),
 		Wts:    make([]float64, np),
 		D:      make([]float64, np*np),
+		Dt:     make([]float64, np*np),
 	}
 	g.computeNodes()
 	g.computeWeights()
 	g.computeD()
+	for i := 0; i < np; i++ {
+		for j := 0; j < np; j++ {
+			g.Dt[j*np+i] = g.D[i*np+j]
+		}
+	}
 	return g, nil
 }
 

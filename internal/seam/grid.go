@@ -57,6 +57,12 @@ type Grid struct {
 	SqrtGF, G11F, G12F, G22F  []float64
 	GI11F, GI12F, GI22F, CorF []float64
 
+	// RSqrtGF is the precomputed reciprocal 1/SqrtGF, element-major. The RHS
+	// hot loops multiply by it instead of dividing by the Jacobian (a ~14
+	// cycle divide per point otherwise); both the sequential and parallel
+	// paths use it, so they stay bitwise identical to each other.
+	RSqrtGF []float64
+
 	// MassF is the precomputed quadrature mass of every point:
 	// w_a * w_b * sqrtG * (DAlpha/2)^2, element-major. MassWeight reads it.
 	MassF []float64
@@ -166,6 +172,7 @@ func (g *Grid) buildGeometry() {
 	g.SqrtG, g.G11, g.G12, g.G22 = alloc(&g.SqrtGF), alloc(&g.G11F), alloc(&g.G12F), alloc(&g.G22F)
 	g.GI11, g.GI12, g.GI22 = alloc(&g.GI11F), alloc(&g.GI12F), alloc(&g.GI22F)
 	g.Cor = alloc(&g.CorF)
+	g.RSqrtGF = make([]float64, k*npts)
 
 	for e := 0; e < k; e++ {
 		id := mesh.ElemID(e)
@@ -184,6 +191,7 @@ func (g *Grid) buildGeometry() {
 				det := g11*g22 - g12*g12
 				g.G11[e][idx], g.G12[e][idx], g.G22[e][idx] = g11, g12, g22
 				g.SqrtG[e][idx] = math.Sqrt(det)
+				g.RSqrtGF[e*npts+idx] = 1 / g.SqrtG[e][idx]
 				g.GI11[e][idx] = g22 / det
 				g.GI12[e][idx] = -g12 / det
 				g.GI22[e][idx] = g11 / det
@@ -267,106 +275,68 @@ func (g *Grid) Slab(q [][]float64) []float64 {
 }
 
 // DiffAlpha computes the alpha-derivative of the element field u (length
-// Np*Np) into du, in physical angle units (1/radian).
+// Np*Np) into du, in physical angle units (1/radian). All derivative entry
+// points route to the shared micro-kernels in kernels.go (with the Np = 8
+// production order fully unrolled), so every caller — sequential solver,
+// parallel runner, diagnostics — computes bitwise identical values.
 func (g *Grid) DiffAlpha(u, du []float64) {
-	np := g.Np
-	d := g.GLL.D
 	scale := 2 / g.DAlpha
-	for b := 0; b < np; b++ {
-		row := u[b*np : (b+1)*np]
-		for i := 0; i < np; i++ {
-			var s float64
-			drow := d[i*np : (i+1)*np]
-			for j := 0; j < np; j++ {
-				s += drow[j] * row[j]
-			}
-			du[b*np+i] = s * scale
-		}
+	if g.Np == 8 {
+		diffAlpha8(g.GLL.D, u, du, scale)
+		return
 	}
+	diffAlphaGeneric(g.Np, g.GLL.Dt, u, du, scale)
 }
 
 // DiffBeta computes the beta-derivative of the element field u into du, in
 // physical angle units. Implemented as row-axpy accumulation (unit stride)
-// rather than strided dot products; every output point still receives its
-// terms in ascending j from an explicit zero, so results are bitwise
-// identical to the naive form.
+// rather than strided dot products; every output point receives its terms in
+// ascending j, so the generic and specialized kernels agree bitwise.
 func (g *Grid) DiffBeta(u, du []float64) {
-	np := g.Np
-	d := g.GLL.D
 	scale := 2 / g.DAlpha
-	for i := 0; i < np; i++ {
-		out := du[i*np : (i+1)*np]
-		drow := d[i*np : (i+1)*np]
-		for a := 0; a < np; a++ {
-			out[a] = 0
-		}
-		for j := 0; j < np; j++ {
-			c := drow[j]
-			urow := u[j*np : (j+1)*np]
-			for a := 0; a < np; a++ {
-				out[a] += c * urow[a]
-			}
-		}
-		for a := 0; a < np; a++ {
-			out[a] *= scale
-		}
+	if g.Np == 8 {
+		diffBeta8(g.GLL.D, u, du, scale)
+		return
 	}
+	diffBetaGeneric(g.Np, g.GLL.D, u, du, scale)
 }
 
 // DiffAlphaBeta computes both the alpha- and beta-derivatives of the element
-// field u (length Np*Np) into dua and dub in one fused call. The summation
-// order per output point is identical to DiffAlpha/DiffBeta, so results are
-// bitwise identical; the beta pass is restructured as row-axpy updates
-// (accumulating D[i][j] * row_j of u into row i of dub), which streams
-// unit-stride instead of striding by Np.
+// field u (length Np*Np) into dua and dub in one fused call. It invokes the
+// same kernels as DiffAlpha/DiffBeta, so the fused and separate forms are
+// bitwise identical by construction.
 func (g *Grid) DiffAlphaBeta(u, dua, dub []float64) {
-	np := g.Np
-	d := g.GLL.D
 	scale := 2 / g.DAlpha
-	// Alpha: independent dot products along each beta row.
-	for b := 0; b < np; b++ {
-		row := u[b*np : (b+1)*np]
-		out := dua[b*np : (b+1)*np]
-		for i := 0; i < np; i++ {
-			drow := d[i*np : (i+1)*np]
-			var s float64
-			for j := 0; j < np; j++ {
-				s += drow[j] * row[j]
-			}
-			out[i] = s * scale
-		}
+	if g.Np == 8 {
+		diffAlpha8(g.GLL.D, u, dua, scale)
+		diffBeta8(g.GLL.D, u, dub, scale)
+		return
 	}
-	// Beta: for each output row i, accumulate sum_j D[i][j] * u_row_j. Each
-	// output point receives its terms in ascending j, exactly as the
-	// dot-product form, starting from an explicit zero.
-	for i := 0; i < np; i++ {
-		out := dub[i*np : (i+1)*np]
-		drow := d[i*np : (i+1)*np]
-		for a := 0; a < np; a++ {
-			out[a] = 0
-		}
-		for j := 0; j < np; j++ {
-			c := drow[j]
-			urow := u[j*np : (j+1)*np]
-			for a := 0; a < np; a++ {
-				out[a] += c * urow[a]
-			}
-		}
-		for a := 0; a < np; a++ {
-			out[a] *= scale
-		}
-	}
+	diffAlphaGeneric(g.Np, g.GLL.Dt, u, dua, scale)
+	diffBetaGeneric(g.Np, g.GLL.D, u, dub, scale)
 }
 
 // DiffBatch computes both derivatives of the listed elements' blocks of the
 // flat element-major slab u into the slabs dua and dub: the batched form of
 // DiffAlphaBeta that a rank applies to its whole element list, streaming
-// each element's Np*Np block through cache once.
+// each element's Np*Np block through cache once. The Np dispatch is hoisted
+// out of the element loop.
 func (g *Grid) DiffBatch(elems []int32, u, dua, dub []float64) {
 	npts := g.Np * g.Np
+	scale := 2 / g.DAlpha
+	if g.Np == 8 {
+		d := g.GLL.D
+		for _, e32 := range elems {
+			base := int(e32) * npts
+			diffAlpha8(d, u[base:base+npts], dua[base:base+npts], scale)
+			diffBeta8(d, u[base:base+npts], dub[base:base+npts], scale)
+		}
+		return
+	}
 	for _, e32 := range elems {
 		base := int(e32) * npts
-		g.DiffAlphaBeta(u[base:base+npts], dua[base:base+npts], dub[base:base+npts])
+		diffAlphaGeneric(g.Np, g.GLL.Dt, u[base:base+npts], dua[base:base+npts], scale)
+		diffBetaGeneric(g.Np, g.GLL.D, u[base:base+npts], dub[base:base+npts], scale)
 	}
 }
 

@@ -22,6 +22,7 @@ func (sw *ShallowWater) laplacian(q, out [][]float64) {
 	for e := 0; e < g.NumElems(); e++ {
 		base := e * npts
 		sq := g.SqrtGF[base : base+npts]
+		rsq := g.RSqrtGF[base : base+npts]
 		gi11 := g.GI11F[base : base+npts]
 		gi12 := g.GI12F[base : base+npts]
 		gi22 := g.GI22F[base : base+npts]
@@ -35,7 +36,7 @@ func (sw *ShallowWater) laplacian(q, out [][]float64) {
 		g.DiffBeta(f2, db)
 		oute := out[e]
 		for i := 0; i < npts; i++ {
-			oute[i] = (da[i] + db[i]) / sq[i]
+			oute[i] = (da[i] + db[i]) * rsq[i]
 		}
 	}
 	sw.Flops += rhsFlopsAdvection(g.NumElems(), g.Np) * 2

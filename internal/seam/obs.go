@@ -18,7 +18,7 @@ type runnerMetrics struct {
 	dssBytes *obs.Counter      // seam_dss_bytes_total
 	stageNs  [4]*obs.Histogram // seam_stage_compute_ns{stage}
 	dssNs    *obs.Histogram    // seam_dss_assembly_ns
-	barrier  *obs.Histogram    // seam_barrier_wait_ns
+	wait     *obs.Histogram    // seam_epoch_wait_ns
 	rankBusy []*obs.Gauge      // seam_rank_busy_ns{rank}
 }
 
@@ -26,7 +26,8 @@ type runnerMetrics struct {
 // stage-compute histograms and the DSS-assembly histogram. Batching keeps
 // the hot loop free of contended atomics: 384 ranks x 4 stages x 2 phases
 // of Observes per step collapse into a handful of atomic adds when each
-// worker flushes at the step-end barrier (see Runner.run). Nil-safe: on a
+// worker flushes before parking and at step completion (see Runner.runSteps).
+// Nil-safe: on a
 // nil receiver every returned batch is nil and its methods no-op.
 func (m *runnerMetrics) workerBatches() (stage [4]*obs.HistogramBatch, dss *obs.HistogramBatch) {
 	if m == nil {
@@ -38,12 +39,14 @@ func (m *runnerMetrics) workerBatches() (stage [4]*obs.HistogramBatch, dss *obs.
 	return stage, m.dssNs.Batch()
 }
 
-// observeBarrier records one worker's wait at a phase barrier.
-func (m *runnerMetrics) observeBarrier(d time.Duration) {
+// observeWait records one worker's epoch wait: the time it spent parked on
+// the wake queue before the popped task's dependencies let it run. With one
+// worker (the serial path) there are no waits and nothing is recorded.
+func (m *runnerMetrics) observeWait(d time.Duration) {
 	if m == nil {
 		return
 	}
-	m.barrier.Observe(d.Nanoseconds())
+	m.wait.Observe(d.Nanoseconds())
 }
 
 // Instrument attaches a metrics registry and/or a run trace to the
@@ -59,7 +62,8 @@ func (m *runnerMetrics) observeBarrier(d time.Duration) {
 //	seam_dss_bytes_total          counter  bytes crossing rank boundaries
 //	seam_stage_compute_ns{stage}  histogram per-rank compute span per stage
 //	seam_dss_assembly_ns          histogram per-rank DSS assembly span
-//	seam_barrier_wait_ns          histogram per-worker barrier wait
+//	seam_epoch_wait_ns            histogram per-worker epoch (dependency)
+//	                                       wait under the dataflow scheduler
 //	seam_rank_busy_ns{rank}       gauge    per-rank busy ns at the last
 //	                                       completed step boundary
 func (r *Runner) Instrument(reg *obs.Registry, tr *obs.RunTrace) {
@@ -73,14 +77,14 @@ func (r *Runner) Instrument(reg *obs.Registry, tr *obs.RunTrace) {
 	reg.Help("seam_dss_bytes_total", "bytes that would cross rank boundaries in DSS exchanges")
 	reg.Help("seam_stage_compute_ns", "per-rank compute time of one RK stage, nanoseconds")
 	reg.Help("seam_dss_assembly_ns", "per-rank DSS assembly time of one RK stage, nanoseconds")
-	reg.Help("seam_barrier_wait_ns", "per-worker wait time at a phase barrier, nanoseconds")
+	reg.Help("seam_epoch_wait_ns", "per-worker wait for rank dependencies to commit, nanoseconds")
 	reg.Help("seam_rank_busy_ns", "per-rank busy time at the last completed step boundary, nanoseconds")
 	m := &runnerMetrics{
 		steps:    reg.Counter("seam_steps_total"),
 		flops:    reg.Counter("seam_flops_total"),
 		dssBytes: reg.Counter("seam_dss_bytes_total"),
 		dssNs:    reg.Histogram("seam_dss_assembly_ns"),
-		barrier:  reg.Histogram("seam_barrier_wait_ns"),
+		wait:     reg.Histogram("seam_epoch_wait_ns"),
 		rankBusy: make([]*obs.Gauge, r.NRanks),
 	}
 	for st := 0; st < 4; st++ {
@@ -99,15 +103,18 @@ type RunnerSnapshot struct {
 	// across all Run/RunCtx calls.
 	StepsDone int64
 	// BusyNs[rk] is rank rk's cumulative busy time within the current
-	// (or most recent) Run call, as of its last completed step. It is
-	// published atomically by the last worker through the step-end
-	// barrier, so concurrent readers never see a torn or mid-stage value.
+	// (or most recent) Run call, as of the rank's last completed step. It
+	// is published atomically by whichever worker commits the rank's
+	// final task of a step, so concurrent readers never see a torn or
+	// mid-stage value. Under the dataflow scheduler step boundaries are
+	// per rank — ranks may be steps apart mid-run — while the serial path
+	// publishes all ranks together at each global step end.
 	BusyNs []int64
 }
 
-// Snapshot returns the per-rank busy meters as of the most recently
+// Snapshot returns the per-rank busy meters as of each rank's most recently
 // completed step boundary. Unlike reading Runner.BusyTime directly —
-// which races the workers and can observe a torn, mid-barrier value —
+// which races the workers and can observe a torn, mid-stage value —
 // Snapshot is safe to call at any time, including concurrently with
 // Run/RunCtx (exercised under -race by TestSnapshotConcurrentWithRunCtx).
 func (r *Runner) Snapshot() RunnerSnapshot {
@@ -123,8 +130,8 @@ func (r *Runner) Snapshot() RunnerSnapshot {
 
 // publishBusy atomically publishes the current BusyTime values into the
 // Snapshot-visible copies (and the obs gauges when instrumented). It
-// must only run while no worker is mutating BusyTime: at a step-end
-// barrier's prepare (exclusive, all writers arrived) or after wg.Wait.
+// must only run while no worker is mutating BusyTime: at a serial-path
+// step end or after every worker has joined.
 func (r *Runner) publishBusy() {
 	m := r.metrics
 	for rk := range r.BusyTime {
@@ -136,13 +143,26 @@ func (r *Runner) publishBusy() {
 	}
 }
 
-// publishStep runs at every step-end barrier, exactly once per step,
-// after every worker of the step has arrived: all BusyTime writes of the
-// step happen-before it, so the values it publishes are complete
-// per-step figures, never mid-stage reads. Atomic stores make them
-// visible to concurrent Snapshot callers.
-func (r *Runner) publishStep(stepInRun int) {
-	r.publishBusy()
+// publishRank publishes rank rk's busy meter. Under the dataflow scheduler
+// it runs on whichever worker commits the rank's last task of a step: that
+// worker made every BusyTime[rk] write of the step (rank tasks are
+// serialized by the scheduler), so the value is a complete per-step figure.
+func (r *Runner) publishRank(rk int32) {
+	ns := int64(r.BusyTime[rk])
+	r.published[rk].Store(ns)
+	if m := r.metrics; m != nil {
+		m.rankBusy[rk].Set(ns)
+	}
+}
+
+// publishStepShared publishes the step-scoped shared meters, exactly once
+// per step: on the serial path at each step end, on the dataflow path by
+// whichever worker commits the step's last rank task. Steps complete in
+// order even under the dataflow scheduler — a rank cannot commit step s
+// before every dependency committed step s-1 around it, and the per-step
+// countdown only reaches zero after all ranks pass — so StepsDone is
+// monotone and EvStep events appear in step order.
+func (r *Runner) publishStepShared(stepInRun int) {
 	r.stepsDone.Add(1)
 	if m := r.metrics; m != nil {
 		m.steps.Inc()
@@ -155,7 +175,7 @@ func (r *Runner) publishStep(stepInRun int) {
 }
 
 // obsActive reports whether any per-span instrumentation is attached
-// (used to skip the extra time.Now calls around barriers when disabled).
+// (used to skip wait measurement and trace stamping when disabled).
 func (r *Runner) obsActive() bool { return r.metrics != nil || r.trace != nil }
 
 // instrumentation state embedded in Runner (kept in this file so the
@@ -163,9 +183,9 @@ func (r *Runner) obsActive() bool { return r.metrics != nil || r.trace != nil }
 type runnerObsState struct {
 	metrics *runnerMetrics
 	trace   *obs.RunTrace
-	// published[rk] is BusyTime[rk] as of the last completed step,
-	// stored atomically at the step-end barrier; stepsDone counts
-	// completed steps across all runs. Both feed Snapshot.
+	// published[rk] is BusyTime[rk] as of the rank's last completed step,
+	// stored atomically by whichever worker commits that step; stepsDone
+	// counts completed steps across all runs. Both feed Snapshot.
 	published []atomic.Int64
 	stepsDone atomic.Int64
 	// flopsPerStep and totalBytesPerStep are precomputed in NewRunner so

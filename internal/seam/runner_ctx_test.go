@@ -80,8 +80,8 @@ func TestRunCtxPreCancelled(t *testing.T) {
 }
 
 // TestRunCtxStallTimesOut: a rank sleeping past the deadline must surface a
-// TimeoutError instead of hanging the barrier, and the error must unwrap to
-// DeadlineExceeded.
+// TimeoutError instead of hanging the scheduler, and the error must unwrap
+// to DeadlineExceeded.
 func TestRunCtxStallTimesOut(t *testing.T) {
 	sw, dt := w2Solver(t, 2, 3)
 	const ranks = 2
@@ -107,7 +107,7 @@ func TestRunCtxStallTimesOut(t *testing.T) {
 	}
 	// The run must abort near the deadline, not wait out the stall. The
 	// stalled worker goroutine itself finishes its sleep in the background;
-	// RunCtx only waits for it after aborting the barriers.
+	// RunCtx only waits for it after the watchdog aborts the schedule.
 	if e := time.Since(start); e > 10*time.Second {
 		t.Errorf("RunCtx took %v, deadline was 50ms", e)
 	}
@@ -155,7 +155,7 @@ func TestRunCtxHookCoverage(t *testing.T) {
 }
 
 // TestRunnerReusableAfterError: a runner that aborted one RunCtx call must
-// run cleanly on the next call (fresh barriers and control state).
+// run cleanly on the next call (fresh scheduler and control state).
 func TestRunnerReusableAfterError(t *testing.T) {
 	sw, dt := w2Solver(t, 2, 3)
 	const ranks = 2

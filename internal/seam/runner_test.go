@@ -82,7 +82,7 @@ func TestRunnerMatchesSequential(t *testing.T) {
 // The flat-slab runner must stay bitwise identical to the sequential solver
 // for rank counts that exercise every scheduler regime: 1 (degenerate), 2
 // and 3 (uneven 24-element split), and 7 (ranks ≫ a 1-2 core CI box, so the
-// work-stealing pool multiplexes several ranks per worker).
+// scheduler multiplexes several ranks per worker).
 func TestRunnerBitwiseEquivalenceAcrossRanks(t *testing.T) {
 	const steps = 10
 	for _, nranks := range []int{1, 2, 3, 7} {
@@ -100,8 +100,8 @@ func TestRunnerBitwiseEquivalenceAcrossRanks(t *testing.T) {
 	}
 }
 
-// Same property with an explicitly capped worker pool (1 and 2 workers for
-// 6 ranks): work stealing must not change any bit of the answer.
+// Same property with an explicitly capped worker count (1 and 2 workers for
+// 6 ranks): the epoch scheduler must not change any bit of the answer.
 func TestRunnerBitwiseEquivalenceCappedWorkers(t *testing.T) {
 	const steps = 10
 	for _, workers := range []int{1, 2} {
@@ -244,36 +244,5 @@ func TestRunnerCommAccounting(t *testing.T) {
 	}
 	if total != perApply*12 {
 		t.Errorf("BytesPerStep %d != 12 * per-apply %d", total, perApply)
-	}
-}
-
-func TestBarrier(t *testing.T) {
-	const n = 8
-	b := newBarrier(n)
-	counter := make(chan int, n*3)
-	done := make(chan struct{})
-	for i := 0; i < n; i++ {
-		go func() {
-			for round := 0; round < 3; round++ {
-				counter <- round
-				b.wait()
-			}
-			done <- struct{}{}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		<-done
-	}
-	close(counter)
-	// With a correct barrier every round's n events complete before any
-	// event of round+2 can occur; rounds observed must be 0..2, n each.
-	seen := map[int]int{}
-	for r := range counter {
-		seen[r]++
-	}
-	for r := 0; r < 3; r++ {
-		if seen[r] != n {
-			t.Errorf("round %d seen %d times, want %d", r, seen[r], n)
-		}
 	}
 }

@@ -136,49 +136,136 @@ func (sw *ShallowWater) SetState(wind func(p mesh.Vec3) mesh.Vec3, phi func(p me
 // paths are bitwise identical by construction. No DSS, no flop metering:
 // the callers handle both.
 func (sw *ShallowWater) rhsElems(elems []int32, scr *rhsScratch, v1, v2, phi, tv1, tv2, tphi []float64) {
+	npts := sw.G.Np * sw.G.Np
+	for _, e32 := range elems {
+		sw.rhsElem(int(e32)*npts, scr, v1, v2, phi, tv1, tv2, tphi)
+	}
+}
+
+// rhsElem evaluates the tendencies of the single element whose slab offset is
+// base. The pointwise loops multiply by the precomputed reciprocal Jacobian
+// RSqrtGF instead of dividing, and hoist the shared products (sqrtG*Phi,
+// pv*sqrtG) out of the flux and momentum expressions.
+func (sw *ShallowWater) rhsElem(base int, scr *rhsScratch, v1, v2, phi, tv1, tv2, tphi []float64) {
 	g := sw.G
 	npts := g.Np * g.Np
 	u1, u2, en, f1, f2 := scr.u1, scr.u2, scr.en, scr.f1, scr.f2
 	da1, db1, da2, db2 := scr.da1, scr.db1, scr.da2, scr.db2
+	v1e := v1[base : base+npts]
+	v2e := v2[base : base+npts]
+	pe := phi[base : base+npts]
+	tv1e := tv1[base : base+npts]
+	tv2e := tv2[base : base+npts]
+	tpe := tphi[base : base+npts]
+	gi11 := g.GI11F[base : base+npts]
+	gi12 := g.GI12F[base : base+npts]
+	gi22 := g.GI22F[base : base+npts]
+	sq := g.SqrtGF[base : base+npts]
+	rsq := g.RSqrtGF[base : base+npts]
+	cor := g.CorF[base : base+npts]
+
+	// Contravariant velocity, energy and mass fluxes, fused in one pass.
+	for i := 0; i < npts; i++ {
+		u1i := gi11[i]*v1e[i] + gi12[i]*v2e[i]
+		u2i := gi12[i]*v1e[i] + gi22[i]*v2e[i]
+		u1[i], u2[i] = u1i, u2i
+		en[i] = pe[i] + 0.5*(u1i*v1e[i]+u2i*v2e[i])
+		sqp := sq[i] * pe[i]
+		f1[i] = sqp * u1i
+		f2[i] = sqp * u2i
+	}
+	// Vorticity derivatives d_a v2, d_b v1 and the energy gradient.
+	g.DiffAlpha(v2e, da1)
+	g.DiffBeta(v1e, db1)
+	g.DiffAlphaBeta(en, da2, db2)
+	// Momentum tendency (vorticity inlined: pv = zeta + f).
+	for i := 0; i < npts; i++ {
+		pvs := ((da1[i]-db1[i])*rsq[i] + cor[i]) * sq[i]
+		tv1e[i] = pvs*u2[i] - da2[i]
+		tv2e[i] = -pvs*u1[i] - db2[i]
+	}
+	// Continuity: -(1/sqrtG) div(sqrtG Phi u).
+	g.DiffAlpha(f1, da1)
+	g.DiffBeta(f2, db1)
+	for i := 0; i < npts; i++ {
+		tpe[i] = -(da1[i] + db1[i]) * rsq[i]
+	}
+}
+
+// stageElems advances the listed elements through RK4 stage st of a step of
+// size dt. It fuses the stage prologue — folding the previous stage's
+// (DSS-projected) tendency into the accumulator and, for stages 1-3, building
+// the stage state sv = v + c*k1 — with the stage's own RHS evaluation, so
+// each element's slabs stream through cache exactly once per stage. The tile
+// is one element (Np*Np points x ~15 slabs, a few KiB at the production
+// degree), comfortably L2-resident. Stage 0 instead seeds the accumulator
+// with a copy of the prognostic state. Shared by the sequential Step and the
+// parallel Runner (which calls it with each rank's element list), so the two
+// paths are bitwise identical by construction. No DSS, no flop metering: the
+// callers handle both.
+func (sw *ShallowWater) stageElems(elems []int32, st int, dt float64, scr *rhsScratch) {
+	npts := sw.G.PointsPerElem()
+	if st == 0 {
+		for _, e32 := range elems {
+			base := int(e32) * npts
+			copy(sw.av1F[base:base+npts], sw.v1F[base:base+npts])
+			copy(sw.av2F[base:base+npts], sw.v2F[base:base+npts])
+			copy(sw.apF[base:base+npts], sw.phiF[base:base+npts])
+			sw.rhsElem(base, scr, sw.v1F, sw.v2F, sw.phiF, sw.k1v1F, sw.k1v2F, sw.k1pF)
+		}
+		return
+	}
+	accCoef := [3]float64{dt / 6, dt / 3, dt / 3}
+	stageCoef := [3]float64{dt / 2, dt / 2, dt}
+	c, sc := accCoef[st-1], stageCoef[st-1]
 	for _, e32 := range elems {
 		base := int(e32) * npts
-		v1e := v1[base : base+npts]
-		v2e := v2[base : base+npts]
-		pe := phi[base : base+npts]
-		tv1e := tv1[base : base+npts]
-		tv2e := tv2[base : base+npts]
-		tpe := tphi[base : base+npts]
-		gi11 := g.GI11F[base : base+npts]
-		gi12 := g.GI12F[base : base+npts]
-		gi22 := g.GI22F[base : base+npts]
-		sq := g.SqrtGF[base : base+npts]
-		cor := g.CorF[base : base+npts]
+		k1v1 := sw.k1v1F[base : base+npts]
+		k1v2 := sw.k1v2F[base : base+npts]
+		k1p := sw.k1pF[base : base+npts]
+		av1 := sw.av1F[base : base+npts]
+		av2 := sw.av2F[base : base+npts]
+		ap := sw.apF[base : base+npts]
+		v1 := sw.v1F[base : base+npts]
+		v2 := sw.v2F[base : base+npts]
+		p := sw.phiF[base : base+npts]
+		sv1 := sw.sv1F[base : base+npts]
+		sv2 := sw.sv2F[base : base+npts]
+		sp := sw.spF[base : base+npts]
+		for i := 0; i < npts; i++ {
+			av1[i] += c * k1v1[i]
+			av2[i] += c * k1v2[i]
+			ap[i] += c * k1p[i]
+			sv1[i] = v1[i] + sc*k1v1[i]
+			sv2[i] = v2[i] + sc*k1v2[i]
+			sp[i] = p[i] + sc*k1p[i]
+		}
+		sw.rhsElem(base, scr, sw.sv1F, sw.sv2F, sw.spF, sw.k1v1F, sw.k1v2F, sw.k1pF)
+	}
+}
 
-		// Contravariant velocity, energy and mass fluxes, fused in one pass.
+// finishElems folds the final stage's tendency into the accumulator and
+// copies the result back into the prognostic state for the listed elements,
+// completing one RK4 step.
+func (sw *ShallowWater) finishElems(elems []int32, dt float64) {
+	npts := sw.G.PointsPerElem()
+	c := dt / 6
+	for _, e32 := range elems {
+		base := int(e32) * npts
+		k1v1 := sw.k1v1F[base : base+npts]
+		k1v2 := sw.k1v2F[base : base+npts]
+		k1p := sw.k1pF[base : base+npts]
+		av1 := sw.av1F[base : base+npts]
+		av2 := sw.av2F[base : base+npts]
+		ap := sw.apF[base : base+npts]
 		for i := 0; i < npts; i++ {
-			u1i := gi11[i]*v1e[i] + gi12[i]*v2e[i]
-			u2i := gi12[i]*v1e[i] + gi22[i]*v2e[i]
-			u1[i], u2[i] = u1i, u2i
-			en[i] = pe[i] + 0.5*(u1i*v1e[i]+u2i*v2e[i])
-			f1[i] = sq[i] * pe[i] * u1i
-			f2[i] = sq[i] * pe[i] * u2i
+			av1[i] += c * k1v1[i]
+			av2[i] += c * k1v2[i]
+			ap[i] += c * k1p[i]
 		}
-		// Vorticity derivatives d_a v2, d_b v1 and the energy gradient.
-		g.DiffAlpha(v2e, da1)
-		g.DiffBeta(v1e, db1)
-		g.DiffAlphaBeta(en, da2, db2)
-		// Momentum tendency (vorticity inlined: pv = zeta + f).
-		for i := 0; i < npts; i++ {
-			pv := (da1[i]-db1[i])/sq[i] + cor[i]
-			tv1e[i] = +pv*sq[i]*u2[i] - da2[i]
-			tv2e[i] = -pv*sq[i]*u1[i] - db2[i]
-		}
-		// Continuity: -(1/sqrtG) div(sqrtG Phi u).
-		g.DiffAlpha(f1, da1)
-		g.DiffBeta(f2, db1)
-		for i := 0; i < npts; i++ {
-			tpe[i] = -(da1[i] + db1[i]) / sq[i]
-		}
+		copy(sw.v1F[base:base+npts], av1)
+		copy(sw.v2F[base:base+npts], av2)
+		copy(sw.phiF[base:base+npts], ap)
 	}
 }
 
@@ -200,48 +287,23 @@ func (sw *ShallowWater) RHS() {
 	sw.rhs(sw.v1F, sw.v2F, sw.phiF, sw.k1v1F, sw.k1v2F, sw.k1pF)
 }
 
-// Step advances the state by one RK4 step of size dt seconds.
+// Step advances the state by one RK4 step of size dt seconds. Each stage is
+// one streaming pass over the element slabs (stageElems) followed by the DSS
+// projection of the stage tendencies; the accumulation of a stage's tendency
+// rides along with the next stage's pass, exactly as in the parallel Runner,
+// so Step and the Runner perform identical per-point arithmetic in identical
+// order.
 func (sw *ShallowWater) Step(dt float64) {
 	g := sw.G
 	npts := g.PointsPerElem()
 	k := g.NumElems()
-
-	// Accumulators start as a copy of the state; stage states in sv*.
-	copy(sw.av1F, sw.v1F)
-	copy(sw.av2F, sw.v2F)
-	copy(sw.apF, sw.phiF)
-
-	stageCoef := [3]float64{dt / 2, dt / 2, dt}
-	accCoef := [4]float64{dt / 6, dt / 3, dt / 3, dt / 6}
-
-	curV1, curV2, curP := sw.v1F, sw.v2F, sw.phiF
-	for s := 0; s < 4; s++ {
-		sw.rhs(curV1, curV2, curP, sw.k1v1F, sw.k1v2F, sw.k1pF)
-		// Accumulate into the final answer and (stages 0-2) build the next
-		// stage state, fused into one pass over the slabs.
-		c := accCoef[s]
-		if s < 3 {
-			sc := stageCoef[s]
-			for i := range sw.k1v1F {
-				sw.av1F[i] += c * sw.k1v1F[i]
-				sw.av2F[i] += c * sw.k1v2F[i]
-				sw.apF[i] += c * sw.k1pF[i]
-				sw.sv1F[i] = sw.v1F[i] + sc*sw.k1v1F[i]
-				sw.sv2F[i] = sw.v2F[i] + sc*sw.k1v2F[i]
-				sw.spF[i] = sw.phiF[i] + sc*sw.k1pF[i]
-			}
-			curV1, curV2, curP = sw.sv1F, sw.sv2F, sw.spF
-		} else {
-			for i := range sw.k1v1F {
-				sw.av1F[i] += c * sw.k1v1F[i]
-				sw.av2F[i] += c * sw.k1v2F[i]
-				sw.apF[i] += c * sw.k1pF[i]
-			}
-		}
+	for st := 0; st < 4; st++ {
+		sw.stageElems(sw.allElems, st, dt, sw.scr)
+		sw.Flops += rhsFlopsShallowWater(k, g.Np)
+		sw.Dss.applyVectorFlat(sw.k1v1F, sw.k1v2F)
+		sw.Dss.applyFlat(sw.k1pF)
 	}
-	copy(sw.v1F, sw.av1F)
-	copy(sw.v2F, sw.av2F)
-	copy(sw.phiF, sw.apF)
+	sw.finishElems(sw.allElems, dt)
 	sw.Flops += int64(k) * int64(npts) * 3 * 4 * 4
 }
 
