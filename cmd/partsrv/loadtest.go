@@ -7,10 +7,14 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"sfccube/internal/obs"
+	"sfccube/internal/resilience"
 	"sfccube/internal/service"
 )
 
@@ -25,6 +29,12 @@ type loadTestConfig struct {
 	out      string        // JSON report path ("" = stdout only)
 	p99SLO   time.Duration // end-to-end p99 latency budget
 	hitFloor float64       // minimum overall cache-hit ratio
+
+	// chaos enables the shed-not-collapse phase: a fresh, deliberately
+	// small service instance soaked under this seeded fault plan (see
+	// resilience.ParseChaosPlan). Empty skips the phase.
+	chaos     string
+	chaosSeed uint64
 }
 
 // loadReport is the JSON artifact. Every section carries its own ok flag;
@@ -64,7 +74,34 @@ type loadReport struct {
 		LimitMS float64 `json:"limit_ms"`
 		OK      bool    `json:"ok"`
 	} `json:"slo"`
-	OK bool `json:"ok"`
+	Chaos *chaosReport `json:"chaos,omitempty"`
+	OK    bool         `json:"ok"`
+}
+
+// chaosReport is the shed-not-collapse section: under seeded faults and an
+// undersized worker pool, every request must still end in a deliberate
+// terminal state (2xx served, 429/503 shed), accepted requests must stay
+// inside the latency SLO, and the instance must drain without leaking
+// goroutines.
+type chaosReport struct {
+	Plan     string `json:"plan"`
+	Seed     uint64 `json:"seed"`
+	Requests int    `json:"requests"`
+	// Outcomes counts terminal HTTP statuses; "other" would break TerminalOK.
+	Outcomes map[string]int `json:"outcomes"`
+	// Injected counts chaos faults by kind, Shed admission sheds by reason
+	// (both from the instance's own metrics).
+	Injected           map[string]int64 `json:"injected"`
+	Shed               map[string]int64 `json:"shed"`
+	BreakerTransitions int64            `json:"breaker_transitions"`
+	AcceptedP99MS      float64          `json:"accepted_p99_ms"`
+	AcceptedLimitMS    float64          `json:"accepted_limit_ms"`
+	GoroutinesBaseline int              `json:"goroutines_baseline"`
+	GoroutinesAfter    int              `json:"goroutines_after_drain"`
+	TerminalOK         bool             `json:"terminal_ok"`
+	LatencyOK          bool             `json:"latency_ok"`
+	GoroutinesOK       bool             `json:"goroutines_ok"`
+	OK                 bool             `json:"ok"`
 }
 
 // runLoadTest stands up an in-process partsrv on a loopback port, drives it
@@ -192,6 +229,17 @@ func runLoadTest(cfg loadTestConfig) error {
 	rep.SLO.OK = rep.LatencyMS.P99 <= rep.SLO.LimitMS
 	rep.OK = rep.Herd.OK && rep.Cache.OK && rep.SLO.OK
 
+	// Phase 3 — chaos soak (opt-in): a fresh undersized instance under the
+	// seeded fault plan must shed, not collapse.
+	if cfg.chaos != "" {
+		chaos, err := runChaosPhase(cfg)
+		if err != nil {
+			return err
+		}
+		rep.Chaos = chaos
+		rep.OK = rep.OK && chaos.OK
+	}
+
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -207,9 +255,181 @@ func runLoadTest(cfg loadTestConfig) error {
 		return err
 	}
 	if !rep.OK {
-		return fmt.Errorf("SLO violated: herd ok=%v (computations=%d), cache ok=%v (ratio=%.2f < floor %.2f is a violation), p99 ok=%v (%.1fms vs %.1fms)",
+		msg := fmt.Sprintf("SLO violated: herd ok=%v (computations=%d), cache ok=%v (ratio=%.2f < floor %.2f is a violation), p99 ok=%v (%.1fms vs %.1fms)",
 			rep.Herd.OK, rep.Herd.Computations, rep.Cache.OK, rep.Cache.Ratio, rep.Cache.Floor,
 			rep.SLO.OK, rep.SLO.P99MS, rep.SLO.LimitMS)
+		if rep.Chaos != nil {
+			msg += fmt.Sprintf(", chaos ok=%v (terminal=%v latency=%v goroutines=%v outcomes=%v)",
+				rep.Chaos.OK, rep.Chaos.TerminalOK, rep.Chaos.LatencyOK, rep.Chaos.GoroutinesOK, rep.Chaos.Outcomes)
+		}
+		return fmt.Errorf("%s", msg)
 	}
 	return nil
+}
+
+// runChaosPhase soaks a fresh partsrv instance — two workers, an
+// eight-deep admission queue, hair-trigger breakers — under the seeded
+// fault plan. Each of cfg.herd client goroutines walks four request
+// variants (a shared key for the flight/cache path, two per-goroutine keys
+// for admission pressure, a stream). Transport faults (dropped
+// connections) are retried with the resilience backoff; HTTP statuses are
+// terminal. The phase passes when every request ends in {2xx, 429, 503},
+// accepted-request p99 stays inside the SLO, and the goroutine count
+// returns to baseline after drain.
+func runChaosPhase(cfg loadTestConfig) (*chaosReport, error) {
+	plan, err := resilience.ParseChaosPlan(cfg.chaos, cfg.chaosSeed)
+	if err != nil {
+		return nil, err
+	}
+	baseline := runtime.NumGoroutine()
+
+	reg := obs.NewRegistry()
+	svcCfg := service.Config{
+		MaxNe:           cfg.service.MaxNe,
+		Workers:         2,
+		QueueDepth:      8,
+		BreakerFailures: 3,
+		BreakerCooldown: 300 * time.Millisecond,
+		Registry:        reg,
+	}
+	svc := service.NewService(svcCfg)
+	mux := svc.Handler()
+	service.AttachObs(mux, reg)
+	srv, err := service.Listen("127.0.0.1:0", service.ChaosMiddleware(plan, reg, mux), nil)
+	if err != nil {
+		return nil, err
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var (
+		mu       sync.Mutex
+		outcomes = map[string]int{}
+		accepted []time.Duration
+		requests int
+	)
+	record := func(status int, lat time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		requests++
+		switch {
+		case status >= 200 && status < 300:
+			outcomes["2xx"]++
+			accepted = append(accepted, lat)
+		case status == http.StatusTooManyRequests:
+			outcomes["429"]++
+		case status == http.StatusServiceUnavailable:
+			outcomes["503"]++
+		case status == 0:
+			outcomes["transport_error"]++
+		default:
+			outcomes[fmt.Sprintf("other_%d", status)]++
+		}
+	}
+	do := func(worker, step int, url string) {
+		var status int
+		var lat time.Duration
+		// Dropped connections are transport faults, not terminal answers:
+		// retry them with the seeded decorrelated backoff. At the CI drop
+		// rate (0.15) eight attempts make an all-dropped walk vanishingly
+		// rare, so exhaustion lands in the report as transport_error.
+		_ = resilience.Retry(context.Background(), resilience.RetrySpec{
+			MaxAttempts: 8,
+			Base:        5 * time.Millisecond,
+			Seed:        cfg.chaosSeed ^ uint64(worker*131+step),
+		}, func(context.Context) error {
+			start := time.Now()
+			resp, err := client.Get(url)
+			if err != nil {
+				return err
+			}
+			_, cerr := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if cerr != nil {
+				return cerr
+			}
+			status, lat = resp.StatusCode, time.Since(start)
+			return nil
+		})
+		record(status, lat)
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < cfg.herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			urls := []string{
+				srv.URL() + "/v1/partition?ne=8&nparts=12&method=sfc",
+				fmt.Sprintf("%s/v1/partition?ne=8&nparts=%d&method=rb&seed=%d", srv.URL(), 8+2*(i%8), i),
+				fmt.Sprintf("%s/v1/partition?ne=6&nparts=9&method=kway&seed=%d", srv.URL(), i),
+				srv.URL() + "/v1/partition/stream?ne=8&nparts=12&method=serpentine",
+			}
+			for j, u := range urls {
+				do(i, j, u)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	// Drain: the instance must come all the way down, handlers included.
+	if err := srv.Shutdown(context.Background(), 10*time.Second); err != nil {
+		return nil, fmt.Errorf("chaos drain: %w", err)
+	}
+	client.CloseIdleConnections()
+	after := runtime.NumGoroutine()
+	for deadline := time.Now().Add(5 * time.Second); after > baseline+2 && time.Now().Before(deadline); {
+		time.Sleep(20 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+
+	rep := &chaosReport{
+		Plan:               cfg.chaos,
+		Seed:               cfg.chaosSeed,
+		Requests:           requests,
+		Outcomes:           outcomes,
+		Injected:           map[string]int64{},
+		Shed:               map[string]int64{},
+		AcceptedLimitMS:    float64(cfg.p99SLO) / 1e6,
+		GoroutinesBaseline: baseline,
+		GoroutinesAfter:    after,
+	}
+	for name, v := range reg.Snapshot() {
+		switch {
+		case strings.HasPrefix(name, "partsrv_chaos_injected_total{"):
+			rep.Injected[name[strings.Index(name, "\"")+1:len(name)-2]] = int64(v)
+		case strings.HasPrefix(name, "partsrv_shed_total{"):
+			rep.Shed[name[strings.Index(name, "\"")+1:len(name)-2]] = int64(v)
+		case strings.HasPrefix(name, "partsrv_breaker_transitions_total{"):
+			rep.BreakerTransitions += int64(v)
+		}
+	}
+
+	rep.TerminalOK = true
+	for k := range outcomes {
+		if k != "2xx" && k != "429" && k != "503" {
+			rep.TerminalOK = false
+		}
+	}
+	sort.Slice(accepted, func(i, j int) bool { return accepted[i] < accepted[j] })
+	if n := len(accepted); n > 0 {
+		i := int(0.99*float64(n)+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		rep.AcceptedP99MS = float64(accepted[i]) / 1e6
+	} else {
+		// A soak where nothing was accepted is a collapse, however clean
+		// the sheds look.
+		rep.TerminalOK = false
+	}
+	rep.LatencyOK = rep.AcceptedP99MS <= rep.AcceptedLimitMS
+	rep.GoroutinesOK = after <= baseline+2
+	rep.OK = rep.TerminalOK && rep.LatencyOK && rep.GoroutinesOK
+	return rep, nil
 }

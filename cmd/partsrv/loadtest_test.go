@@ -18,12 +18,14 @@ import (
 func TestRunLoadTest(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "slo.json")
 	cfg := loadTestConfig{
-		service:  service.Config{Registry: obs.NewRegistry()},
-		herd:     16,
-		distinct: 4,
-		out:      out,
-		p99SLO:   time.Minute, // generous: this test checks invariants, not speed
-		hitFloor: 0.45,
+		service:   service.Config{Registry: obs.NewRegistry()},
+		herd:      16,
+		distinct:  4,
+		out:       out,
+		p99SLO:    time.Minute, // generous: this test checks invariants, not speed
+		hitFloor:  0.45,
+		chaos:     "slowresp@0.3:20ms,droppedconn@0.15,computestall@0.25:60ms,errinject@0.2",
+		chaosSeed: 7,
 	}
 	if err := runLoadTest(cfg); err != nil {
 		t.Fatal(err)
@@ -47,5 +49,32 @@ func TestRunLoadTest(t *testing.T) {
 	}
 	if rep.LatencyMS.P99 <= 0 {
 		t.Error("no latency percentiles recorded")
+	}
+
+	// Chaos phase: shed-not-collapse. Every request ended in a deliberate
+	// terminal state, something was actually injected, and the instance
+	// drained clean.
+	if rep.Chaos == nil {
+		t.Fatal("chaos phase produced no report section")
+	}
+	if !rep.Chaos.OK {
+		t.Fatalf("chaos phase not ok: %+v", rep.Chaos)
+	}
+	if !rep.Chaos.TerminalOK {
+		t.Errorf("non-terminal outcomes under chaos: %v", rep.Chaos.Outcomes)
+	}
+	if rep.Chaos.Outcomes["2xx"] == 0 {
+		t.Error("chaos soak accepted nothing — that is a collapse, not a shed")
+	}
+	total := 0
+	for _, n := range rep.Chaos.Injected {
+		total += int(n)
+	}
+	if total == 0 {
+		t.Error("chaos plan injected no faults at these rates — the soak tested nothing")
+	}
+	if rep.Chaos.GoroutinesAfter > rep.Chaos.GoroutinesBaseline+2 {
+		t.Errorf("goroutines leaked under chaos: %d after drain, baseline %d",
+			rep.Chaos.GoroutinesAfter, rep.Chaos.GoroutinesBaseline)
 	}
 }

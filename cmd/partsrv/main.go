@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"sfccube/internal/obs"
+	"sfccube/internal/resilience"
 	"sfccube/internal/service"
 )
 
@@ -51,12 +52,21 @@ func main() {
 	largeNe := flag.Int("large-ne", 0, "Ne threshold for the large-problem regime: deferred mesh, SFC-first auto chain (0 = default 256, negative = disable)")
 	largeDeadline := flag.Duration("large-deadline", 30*time.Second, "compute budget for large-regime requests that carry none (0 = default-deadline)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	queueDepth := flag.Int("queue-depth", 0, "max computations waiting for a worker before 429 sheds (0 = default 64, negative = no waiting)")
+	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint on shed responses (0 = default 1s)")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures tripping a per-method circuit breaker (0 = default 5, negative = disable)")
+	breakerLatency := flag.Duration("breaker-latency", 0, "per-computation latency budget counted as a breaker failure (0 = off)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default 2s)")
+	chaos := flag.String("chaos", "", "seeded fault-injection plan, e.g. 'slowresp@0.2:40ms,droppedconn@0.1,computestall@0.15:80ms,errinject@0.1' (empty = off)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the chaos plan; same seed and traffic order replay the same faults")
 
 	ltN := flag.Int("loadtest", 0, "run the load smoke with this many concurrent identical requests instead of serving (0 = serve)")
 	ltDistinct := flag.Int("loadtest-distinct", 8, "distinct requests per load-smoke batch (each replayed once for cache hits)")
 	ltOut := flag.String("loadtest-out", "", "write the load-smoke JSON report to this file")
 	ltP99 := flag.Duration("loadtest-p99-slo", 2*time.Second, "p99 end-to-end latency SLO for the load smoke")
 	ltHitFloor := flag.Float64("loadtest-hit-floor", 0.45, "minimum overall cache-hit ratio for the load smoke")
+	ltChaos := flag.String("loadtest-chaos", "", "run the chaos soak phase of the load smoke under this fault plan (empty = skip)")
+	ltChaosSeed := flag.Uint64("loadtest-chaos-seed", 1, "seed for the load-smoke chaos plan")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -67,17 +77,24 @@ func main() {
 		DefaultDeadline: *defaultDeadline,
 		LargeNe:         *largeNe,
 		LargeDeadline:   *largeDeadline,
+		QueueDepth:      *queueDepth,
+		RetryAfter:      *retryAfter,
+		BreakerFailures: *breakerFailures,
+		BreakerLatency:  *breakerLatency,
+		BreakerCooldown: *breakerCooldown,
 		Registry:        obs.NewRegistry(),
 	}
 
 	if *ltN > 0 {
 		if err := runLoadTest(loadTestConfig{
-			service:  cfg,
-			herd:     *ltN,
-			distinct: *ltDistinct,
-			out:      *ltOut,
-			p99SLO:   *ltP99,
-			hitFloor: *ltHitFloor,
+			service:   cfg,
+			herd:      *ltN,
+			distinct:  *ltDistinct,
+			out:       *ltOut,
+			p99SLO:    *ltP99,
+			hitFloor:  *ltHitFloor,
+			chaos:     *ltChaos,
+			chaosSeed: *ltChaosSeed,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "partsrv loadtest:", err)
 			os.Exit(1)
@@ -85,21 +102,34 @@ func main() {
 		return
 	}
 
-	if err := serve(*addr, cfg, *shutdownTimeout); err != nil {
+	var plan *resilience.ChaosPlan
+	if *chaos != "" {
+		var err error
+		if plan, err = resilience.ParseChaosPlan(*chaos, *chaosSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "partsrv:", err)
+			os.Exit(2)
+		}
+	}
+	if err := serve(*addr, cfg, *shutdownTimeout, plan); err != nil {
 		fmt.Fprintln(os.Stderr, "partsrv:", err)
 		os.Exit(1)
 	}
 }
 
-// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully.
-func serve(addr string, cfg service.Config, shutdownTimeout time.Duration) error {
+// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully. A
+// non-nil chaos plan wraps the /v1/ endpoints with seeded fault injection
+// (health and observability surfaces stay clean).
+func serve(addr string, cfg service.Config, shutdownTimeout time.Duration, plan *resilience.ChaosPlan) error {
 	svc := service.NewService(cfg)
 	mux := svc.Handler()
 	service.AttachObs(mux, cfg.Registry)
 
-	srv, err := service.Listen(addr, mux, nil)
+	srv, err := service.Listen(addr, service.ChaosMiddleware(plan, cfg.Registry, mux), nil)
 	if err != nil {
 		return err
+	}
+	if plan != nil {
+		fmt.Printf("partsrv: CHAOS MODE — injecting %q (seed %d)\n", plan.Specs(), plan.Seed())
 	}
 	fmt.Printf("partsrv: serving on http://%s (try /v1/partition?ne=8&nparts=16, metrics on /metrics)\n", srv.Addr())
 

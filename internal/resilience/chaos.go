@@ -1,0 +1,183 @@
+package resilience
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosKind enumerates the service-level injectable fault classes — the
+// HTTP-facing complement of FaultKind's solver-side faults. The kinds map
+// onto the failure modes a partition service meets in production: slow
+// responses, severed connections, compute that hogs a worker, and plain
+// errors.
+type ChaosKind int
+
+const (
+	// ChaosSlowResp delays the response by the spec's Param before the
+	// request is handled.
+	ChaosSlowResp ChaosKind = iota
+	// ChaosDroppedConn severs the connection without sending a response.
+	ChaosDroppedConn
+	// ChaosComputeStall makes the compute path hold its worker slot idle
+	// for the spec's Param before partitioning, filling the pool and
+	// exercising admission control.
+	ChaosComputeStall
+	// ChaosErrInject answers with an injected 503 without doing any work.
+	ChaosErrInject
+)
+
+var chaosNames = map[ChaosKind]string{
+	ChaosSlowResp:     "slowresp",
+	ChaosDroppedConn:  "droppedconn",
+	ChaosComputeStall: "computestall",
+	ChaosErrInject:    "errinject",
+}
+
+func (k ChaosKind) String() string {
+	if s, ok := chaosNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("ChaosKind(%d)", int(k))
+}
+
+// DefaultChaosParam is the slowresp/computestall duration when a plan
+// entry carries none.
+const DefaultChaosParam = 50 * time.Millisecond
+
+// ChaosSpec is one entry of a chaos plan: inject Kind into an arriving
+// request with probability Rate; Param is the duration parameter of the
+// timed kinds.
+type ChaosSpec struct {
+	Kind  ChaosKind
+	Rate  float64
+	Param time.Duration
+}
+
+func (s ChaosSpec) String() string {
+	out := fmt.Sprintf("%s@%g", s.Kind, s.Rate)
+	if s.Kind == ChaosSlowResp || s.Kind == ChaosComputeStall {
+		out += ":" + s.Param.String()
+	}
+	return out
+}
+
+// ChaosPlan assigns each arriving request a deterministic injection
+// decision: the decision for the n-th request is a pure function of
+// (seed, plan, n), so a soak under a fixed seed replays the identical
+// fault multiset. Entries are evaluated in plan order and the first hit
+// wins. Next is safe for concurrent use; a nil *ChaosPlan injects
+// nothing.
+type ChaosPlan struct {
+	seed  uint64
+	specs []ChaosSpec
+	n     atomic.Uint64
+}
+
+// NewChaosPlan builds a plan from specs. Spec order is significant: it is
+// both the evaluation priority and part of the seed derivation.
+func NewChaosPlan(seed uint64, specs ...ChaosSpec) *ChaosPlan {
+	return &ChaosPlan{seed: seed, specs: append([]ChaosSpec(nil), specs...)}
+}
+
+// Specs returns a copy of the plan entries.
+func (p *ChaosPlan) Specs() []ChaosSpec {
+	if p == nil {
+		return nil
+	}
+	return append([]ChaosSpec(nil), p.specs...)
+}
+
+// Seed returns the plan seed.
+func (p *ChaosPlan) Seed() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
+// Requests returns how many decisions have been drawn via Next.
+func (p *ChaosPlan) Requests() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.n.Load()
+}
+
+// DecideAt returns the fault injected into the n-th request, if any. It
+// is a pure function of (seed, plan, n) and does not advance the request
+// counter; Next is DecideAt at the next counter value.
+func (p *ChaosPlan) DecideAt(n uint64) (ChaosSpec, bool) {
+	if p == nil {
+		return ChaosSpec{}, false
+	}
+	base := splitmix64(p.seed ^ splitmix64(n+1))
+	for i, sp := range p.specs {
+		u := float64(splitmix64(base+uint64(i))>>11) / (1 << 53)
+		if u < sp.Rate {
+			return sp, true
+		}
+	}
+	return ChaosSpec{}, false
+}
+
+// Next assigns the next request index and returns its decision.
+func (p *ChaosPlan) Next() (ChaosSpec, bool) {
+	if p == nil {
+		return ChaosSpec{}, false
+	}
+	return p.DecideAt(p.n.Add(1) - 1)
+}
+
+// ParseChaosPlan parses the partsrv -chaos specification: a comma-
+// separated list of kind@rate or kind@rate:param entries, e.g.
+//
+//	slowresp@0.2:40ms,droppedconn@0.1,computestall@0.15:80ms,errinject@0.1
+//
+// rate is the per-request injection probability in [0,1]; param is the
+// duration of the timed kinds (default 50ms) and is rejected on the
+// untimed ones.
+func ParseChaosPlan(spec string, seed uint64) (*ChaosPlan, error) {
+	byName := make(map[string]ChaosKind, len(chaosNames))
+	for k, n := range chaosNames {
+		byName[n] = k
+	}
+	var out []ChaosSpec
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(item, "@")
+		if !ok {
+			return nil, fmt.Errorf("resilience: chaos entry %q: want kind@rate[:param]", item)
+		}
+		kind, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			return nil, fmt.Errorf("resilience: unknown chaos kind %q (want one of slowresp, droppedconn, computestall, errinject)", name)
+		}
+		rateStr, paramStr, hasParam := strings.Cut(rest, ":")
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("resilience: chaos entry %q: bad rate %q (want [0,1])", item, rateStr)
+		}
+		sp := ChaosSpec{Kind: kind, Rate: rate, Param: DefaultChaosParam}
+		if hasParam {
+			if kind != ChaosSlowResp && kind != ChaosComputeStall {
+				return nil, fmt.Errorf("resilience: chaos entry %q: %s takes no duration parameter", item, kind)
+			}
+			d, err := time.ParseDuration(strings.TrimSpace(paramStr))
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("resilience: chaos entry %q: bad duration %q", item, paramStr)
+			}
+			sp.Param = d
+		}
+		out = append(out, sp)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("resilience: empty chaos specification %q", spec)
+	}
+	return NewChaosPlan(seed, out...), nil
+}

@@ -129,8 +129,12 @@ type FallbackSpec struct {
 	// after a balance violation before the chain moves on. In a literal
 	// spec, zero means DefaultSeedRetries; negative is clamped to zero.
 	SeedRetries int
-	// Backoff is the wait between reseeded retries (honouring ctx). The
-	// zero value means no wait, which is what tests use.
+	// Backoff is the base wait between reseeded retries (honouring ctx).
+	// The actual waits carry decorrelated jitter drawn from a stream
+	// seeded by Seed — uniform in [Backoff, 3*prev] capped at 10*Backoff
+	// — so a fleet of synchronized clients spreads its retries out while
+	// any single spec's sleep sequence stays replayable. The zero value
+	// means no wait, which is what tests use.
 	Backoff time.Duration
 	// Graph and Mesh are optional pre-built inputs for the METIS
 	// strategies; when nil they are built from Ne on first use.
@@ -224,6 +228,10 @@ func PartitionWithFallback(ctx context.Context, spec FallbackSpec) (*FallbackRes
 	if retries < 0 {
 		retries = 0
 	}
+	// One jitter stream per chain walk: every reseeded retry, whichever
+	// strategy it belongs to, consumes the next draw, so the full sleep
+	// sequence is a pure function of (Seed, Backoff).
+	backoff := NewJitter(uint64(seed), spec.Backoff, 0)
 
 	var attempts []Attempt
 	accept := func(strat Strategy, s int64, p *partition.Partition, err error) *FallbackResult {
@@ -252,10 +260,11 @@ func PartitionWithFallback(ctx context.Context, spec FallbackSpec) (*FallbackRes
 			s := seed
 			for try := 0; try <= retries; try++ {
 				if try > 0 {
-					// Reseeded retry with backoff: a fresh RNG stream, and a
-					// breather so a transiently loaded machine is not hammered.
+					// Reseeded retry with jittered backoff: a fresh RNG stream,
+					// and a decorrelated breather so a transiently loaded
+					// machine is not hammered by lockstepped retries.
 					s = int64(splitmix64(uint64(s)) | 1)
-					if !sleepCtx(ctx, spec.Backoff) {
+					if !sleepBetweenRetries(ctx, backoff.Next()) {
 						break
 					}
 				}
@@ -354,6 +363,10 @@ func serpentinePartition(spec FallbackSpec) (*partition.Partition, error) {
 	}
 	return core.PartitionCurve(cc, spec.NProcs, nil)
 }
+
+// sleepBetweenRetries is sleepCtx, indirected so the backoff-determinism
+// test can record the jittered sleep sequence without actually sleeping.
+var sleepBetweenRetries = sleepCtx
 
 // sleepCtx sleeps for d unless ctx expires first; it reports whether the
 // full wait completed. d <= 0 returns true immediately without consulting

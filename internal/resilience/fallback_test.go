@@ -282,6 +282,78 @@ func TestFallbackBackoffSkippedOnExpiredDeadline(t *testing.T) {
 	}
 }
 
+// TestFallbackBackoffJitterDeterministic: the sleeps between reseeded
+// retries carry decorrelated jitter drawn from the spec's seeded stream —
+// same seed, same sleep sequence; different seed, different sequence; every
+// sleep in [Backoff, 10*Backoff]. The sleep function is indirected so no
+// real time passes.
+func TestFallbackBackoffJitterDeterministic(t *testing.T) {
+	record := func(seed int64) []time.Duration {
+		var sleeps []time.Duration
+		orig := sleepBetweenRetries
+		sleepBetweenRetries = func(ctx context.Context, d time.Duration) bool {
+			sleeps = append(sleeps, d)
+			return true
+		}
+		defer func() { sleepBetweenRetries = orig }()
+
+		// 24 elements into 5 parts can never balance perfectly, so with a
+		// strict MaxLB=0 gate every KWAY attempt fails with *BalanceError
+		// and all SeedRetries reseeded retries (and their backoffs) run.
+		spec := NewFallbackSpec(2, 5)
+		spec.Seed = seed
+		spec.MaxLB = 0
+		spec.SeedRetries = 3
+		spec.Backoff = 5 * time.Millisecond
+		spec.Chain = []Strategy{StrategyKWay}
+		if _, err := PartitionWithFallback(context.Background(), spec); err == nil {
+			t.Fatal("strict balance gate unexpectedly satisfiable")
+		}
+		return sleeps
+	}
+
+	a := record(1)
+	if len(a) != 3 {
+		t.Fatalf("recorded %d sleeps, want 3 (one per reseeded retry)", len(a))
+	}
+	b := record(1)
+	if len(b) != len(a) {
+		t.Fatalf("replay recorded %d sleeps, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("sleep %d: %v vs %v — same seed must replay the identical backoff sequence", i, a[i], b[i])
+		}
+		if a[i] < 5*time.Millisecond || a[i] > 50*time.Millisecond {
+			t.Errorf("sleep %d = %v outside [Backoff, 10*Backoff]", i, a[i])
+		}
+	}
+	c := record(2)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("distinct seeds produced identical backoff sequences — jitter not decorrelated")
+	}
+	// The draws themselves must vary (a fixed-interval stream is exactly
+	// the lockstep bug this jitter cures).
+	varied := false
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Errorf("backoff sequence %v is a fixed interval", a)
+	}
+}
+
 func TestFallbackBadArgs(t *testing.T) {
 	if _, err := PartitionWithFallback(context.Background(), FallbackSpec{Ne: 0, NProcs: 1}); err == nil {
 		t.Error("Ne=0 accepted")

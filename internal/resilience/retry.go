@@ -1,0 +1,104 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Jitter is a seeded decorrelated-jitter backoff stream: each draw is
+// uniform in [base, 3*prev] capped at cap, so synchronized clients spread
+// out instead of retrying in lockstep, while the whole sleep sequence
+// stays a pure function of the seed — same seed, same sequence, which is
+// what makes backoff schedules replayable in tests. A nil *Jitter (or a
+// non-positive base) yields an all-zero stream.
+type Jitter struct {
+	state     uint64
+	base, cap time.Duration
+	prev      time.Duration
+}
+
+// NewJitter returns a jitter stream starting at base and capped at cap;
+// cap <= 0 means 10*base.
+func NewJitter(seed uint64, base, cap time.Duration) *Jitter {
+	if cap <= 0 {
+		cap = 10 * base
+	}
+	return &Jitter{state: seed, base: base, cap: cap, prev: base}
+}
+
+// Next returns the next backoff in the stream.
+func (j *Jitter) Next() time.Duration {
+	if j == nil || j.base <= 0 {
+		return 0
+	}
+	j.state = splitmix64(j.state)
+	d := j.base
+	if span := 3*j.prev - j.base; span > 0 {
+		d += time.Duration(j.state % uint64(span))
+	}
+	if d > j.cap {
+		d = j.cap
+	}
+	j.prev = d
+	return d
+}
+
+// RetrySpec configures Retry. Zero-valued fields take the documented
+// defaults.
+type RetrySpec struct {
+	// MaxAttempts is the total number of op invocations (default 3).
+	MaxAttempts int
+	// Base is the first backoff (default 10ms); Cap bounds every backoff
+	// (default 10*Base).
+	Base, Cap time.Duration
+	// Seed seeds the decorrelated-jitter stream; the full sleep sequence
+	// is a pure function of it.
+	Seed uint64
+	// Retryable reports whether an error is worth another attempt; nil
+	// retries everything except context errors, which always stop the
+	// loop.
+	Retryable func(error) bool
+	// OnRetry observes each scheduled retry: the attempt that just
+	// failed (1-based), its error, and the backoff chosen before the
+	// next one.
+	OnRetry func(attempt int, err error, sleep time.Duration)
+}
+
+// Retry runs op up to spec.MaxAttempts times, sleeping a capped
+// exponential backoff with seeded decorrelated jitter between attempts
+// and honouring ctx while sleeping. It returns nil on the first success;
+// otherwise the last error — when attempts are exhausted, when the
+// Retryable predicate rejects the error, or when ctx expires (a context
+// error from op, or ctx going done mid-wait, both stop the loop).
+func Retry(ctx context.Context, spec RetrySpec, op func(ctx context.Context) error) error {
+	attempts := spec.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	base := spec.Base
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	j := NewJitter(spec.Seed, base, spec.Cap)
+	var err error
+	for a := 1; ; a++ {
+		if err = op(ctx); err == nil {
+			return nil
+		}
+		if a >= attempts || ctx.Err() != nil ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		if spec.Retryable != nil && !spec.Retryable(err) {
+			return err
+		}
+		d := j.Next()
+		if spec.OnRetry != nil {
+			spec.OnRetry(a, err, d)
+		}
+		if !sleepCtx(ctx, d) {
+			return err
+		}
+	}
+}

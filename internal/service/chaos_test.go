@@ -1,0 +1,108 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sfccube/internal/obs"
+	"sfccube/internal/resilience"
+)
+
+func chaosServer(t *testing.T, plan string, next http.Handler) (*obs.Registry, *httptest.Server) {
+	t.Helper()
+	p, err := resilience.ParseChaosPlan(plan, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(ChaosMiddleware(p, reg, next))
+	t.Cleanup(ts.Close)
+	return reg, ts
+}
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func TestChaosMiddlewareSkipsNonV1(t *testing.T) {
+	// Rate 1 dropped connections, but health and observability paths must
+	// stay clean.
+	_, ts := chaosServer(t, "droppedconn@1", okHandler())
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("non-/v1/ path hit by chaos: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestChaosMiddlewareErrInject(t *testing.T) {
+	reg, ts := chaosServer(t, "errinject@1", okHandler())
+	resp, err := http.Get(ts.URL + "/v1/partition?ne=4&nparts=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503 (injected errors are back-pressure-shaped)", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("injected 503 carries no Retry-After")
+	}
+	if got := reg.Snapshot()[`partsrv_chaos_injected_total{kind="errinject"}`]; got != 1 {
+		t.Errorf("injection counter = %v, want 1", got)
+	}
+}
+
+func TestChaosMiddlewareDroppedConn(t *testing.T) {
+	_, ts := chaosServer(t, "droppedconn@1", okHandler())
+	resp, err := http.Get(ts.URL + "/v1/partition?ne=4&nparts=6")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("dropped connection produced a response: %d", resp.StatusCode)
+	}
+}
+
+func TestChaosMiddlewareComputeStall(t *testing.T) {
+	var got time.Duration
+	_, ts := chaosServer(t, "computestall@1:150ms", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = computeStallFrom(r.Context())
+	}))
+	resp, err := http.Get(ts.URL + "/v1/partition?ne=4&nparts=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got != 150*time.Millisecond {
+		t.Errorf("compute stall %v did not reach the handler context, want 150ms", got)
+	}
+}
+
+func TestChaosMiddlewareSlowResp(t *testing.T) {
+	_, ts := chaosServer(t, "slowresp@1:100ms", okHandler())
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/v1/partition?ne=4&nparts=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("slowresp answered in %v, want >= ~100ms", elapsed)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d, want 200 (slowresp delays, never fails)", resp.StatusCode)
+	}
+}
+
+func TestChaosMiddlewareNilPlanIsIdentity(t *testing.T) {
+	next := http.NewServeMux() // pointer handler, so identity is comparable
+	if got := ChaosMiddleware(nil, obs.NewRegistry(), next); got != http.Handler(next) {
+		t.Error("nil plan wrapped the handler")
+	}
+}

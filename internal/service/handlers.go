@@ -1,9 +1,11 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -130,20 +132,55 @@ func parseRequest(r *http.Request) (Request, error) {
 
 // writeError renders err as a JSON error object with the right status:
 // 400 for validation failures, 422 for an exhausted fallback chain (the
-// request was well-formed but unsatisfiable), 500 otherwise.
+// request was well-formed but unsatisfiable), 429 for a full admission
+// queue and 503 for the other sheds (both with a Retry-After hint), 500
+// otherwise.
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
+	var retryAfter time.Duration
 	var bad *BadRequestError
 	var ex *resilience.ExhaustedError
+	var qf *QueueFullError
+	var ds *DeadlineTooShortError
+	var qt *QueueTimeoutError
 	switch {
 	case errors.As(err, &bad):
 		code = http.StatusBadRequest
 	case errors.As(err, &ex):
 		code = http.StatusUnprocessableEntity
+	case errors.As(err, &qf):
+		code = http.StatusTooManyRequests
+		retryAfter = qf.RetryAfter
+	case errors.As(err, &ds):
+		code = http.StatusServiceUnavailable
+		retryAfter = ds.RetryAfter
+	case errors.As(err, &qt):
+		code = http.StatusServiceUnavailable
+		retryAfter = qt.RetryAfter
+	}
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter.Seconds()))))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// requestContext derives the call context: an X-Partsrv-Timeout header (a
+// Go duration) becomes a context deadline, which is what the admission
+// layer's deadline-aware shed consults. This is the caller's patience —
+// distinct from deadline_ms, which is the compute quality budget.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	h := r.Header.Get("X-Partsrv-Timeout")
+	if h == "" {
+		return r.Context(), func() {}, nil
+	}
+	d, err := time.ParseDuration(h)
+	if err != nil || d <= 0 {
+		return nil, nil, &BadRequestError{Reason: fmt.Sprintf("header X-Partsrv-Timeout: invalid duration %q", h)}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
 }
 
 // setMetaHeaders exposes the per-call envelope without touching the cached
@@ -160,6 +197,9 @@ func setMetaHeaders(w http.ResponseWriter, meta Meta) {
 	if meta.Degraded {
 		w.Header().Set("X-Partsrv-Degraded", "true")
 	}
+	if meta.BreakerOpen {
+		w.Header().Set("X-Partsrv-Breaker", "open")
+	}
 }
 
 // handlePartition answers one request with the full JSON response (the
@@ -173,7 +213,13 @@ func (s *Service) handlePartition(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	payload, meta, err := s.Partition(r.Context(), req)
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	payload, meta, err := s.Partition(ctx, req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -211,7 +257,13 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	payload, meta, err := s.Partition(r.Context(), req)
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	payload, meta, err := s.Partition(ctx, req)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -167,6 +168,75 @@ func TestHandlerErrors(t *testing.T) {
 		if e["error"] == "" {
 			t.Errorf("DELETE %s: no JSON error body", path)
 		}
+	}
+}
+
+// TestHandlerShedStatusCodes maps each admission shed onto its HTTP shape:
+// queue full → 429, queued-past-deadline → 503, both with Retry-After; an
+// unparseable X-Partsrv-Timeout → 400.
+func TestHandlerShedStatusCodes(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: -1})
+	if err := s.adm.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/partition?ne=4&nparts=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("queue-full shed: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Errorf("queue-full shed: Retry-After = %q, want \"1\"", resp.Header.Get("Retry-After"))
+	}
+	s.adm.release()
+
+	// A server with a queue: a request whose X-Partsrv-Timeout expires
+	// while it waits is shed with 503.
+	s2, ts2 := newTestServer(t, Config{Workers: 1})
+	if err := s2.adm.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodGet, ts2.URL+"/v1/partition?ne=4&nparts=6", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Partsrv-Timeout", "50ms")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("queue-timeout shed: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue-timeout shed carries no Retry-After")
+	}
+	s2.adm.release()
+
+	// Once the worker frees, the same request (with a generous budget)
+	// succeeds.
+	req.Header.Set("X-Partsrv-Timeout", "30s")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-release request: status %d, want 200", resp.StatusCode)
+	}
+
+	// Malformed timeout header.
+	req.Header.Set("X-Partsrv-Timeout", "soon")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad timeout header: status %d, want 400", resp.StatusCode)
 	}
 }
 

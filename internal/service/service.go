@@ -114,6 +114,10 @@ type Response struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// Attempts lists the abandoned chain links, in order.
 	Attempts []string `json:"attempts,omitempty"`
+	// BreakerSkipped lists chain links short-circuited by an open circuit
+	// breaker before any attempt. Like Degraded it reflects transient
+	// server state, so responses carrying it are never cached.
+	BreakerSkipped []string `json:"breaker_skipped,omitempty"`
 	// Stats are the paper's Table-2 quality metrics for the partition.
 	Stats partition.Stats `json:"stats"`
 	// Assignment maps element id → part.
@@ -126,7 +130,10 @@ type Meta struct {
 	CacheHit bool
 	Shared   bool // joined another caller's in-flight computation
 	Degraded bool
-	Elapsed  time.Duration
+	// BreakerOpen marks a response computed with at least one chain link
+	// short-circuited by an open breaker.
+	BreakerOpen bool
+	Elapsed     time.Duration
 }
 
 // Config sizes a Service. Zero values take the documented defaults.
@@ -154,6 +161,24 @@ type Config struct {
 	// LargeDeadline is the compute budget for large-regime requests that
 	// carry none; 0 falls back to DefaultDeadline.
 	LargeDeadline time.Duration
+	// QueueDepth bounds how many computations may wait for a worker before
+	// new arrivals are shed with a 429. 0 means the default 64; negative
+	// means no waiting at all (shed the moment the pool is busy).
+	QueueDepth int
+	// RetryAfter is the back-off hint attached to shed responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// BreakerFailures is the consecutive-failure count that trips a
+	// per-method circuit breaker on the multilevel strategies (KWAY, RB).
+	// 0 means the default 5; negative disables the breakers.
+	BreakerFailures int
+	// BreakerLatency is the per-computation latency budget; a successful
+	// compute slower than this counts as a breaker failure. 0 disables the
+	// latency trip.
+	BreakerLatency time.Duration
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// admitting a half-open probe (default 2s).
+	BreakerCooldown time.Duration
 	// Registry receives the service metrics; nil disables them (nil-safe
 	// handles).
 	Registry *obs.Registry
@@ -163,22 +188,27 @@ type Config struct {
 // bounded compute with graceful degradation. One instance serves all
 // endpoints of a partsrv process.
 type Service struct {
-	cfg    Config
-	cache  *Cache
-	flight flightGroup
-	sem    chan struct{}
+	cfg       Config
+	cache     *Cache
+	flight    flightGroup
+	adm       *admitter
+	estimates map[string]*latEstimator
+	breakers  map[resilience.Strategy]*resilience.Breaker
 
-	reqs         *obs.Counter
-	computations *obs.Counter
-	cacheHits    *obs.Counter
-	cacheMisses  *obs.Counter
-	sfShared     *obs.Counter
-	degraded     *obs.Counter
-	failures     *obs.Counter
-	large        *obs.Counter
-	computeNs    *obs.Histogram
-	cacheBytes   *obs.Gauge
-	cacheEntries *obs.Gauge
+	reqs          *obs.Counter
+	computations  *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	sfShared      *obs.Counter
+	degraded      *obs.Counter
+	failures      *obs.Counter
+	large         *obs.Counter
+	shedFull      *obs.Counter
+	shedDeadline  *obs.Counter
+	shedCancelled *obs.Counter
+	computeNs     *obs.Histogram
+	cacheBytes    *obs.Gauge
+	cacheEntries  *obs.Gauge
 }
 
 // NewService builds a Service from cfg.
@@ -192,6 +222,24 @@ func NewService(cfg Config) *Service {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	queueDepth := cfg.QueueDepth
+	if queueDepth == 0 {
+		queueDepth = 64
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	breakerFailures := cfg.BreakerFailures
+	if breakerFailures == 0 {
+		breakerFailures = 5
+	}
+	breakerCooldown := cfg.BreakerCooldown
+	if breakerCooldown <= 0 {
+		breakerCooldown = 2 * time.Second
+	}
 	reg := cfg.Registry
 	reg.Help("partsrv_requests_total", "Partition requests accepted by the engine (all endpoints).")
 	reg.Help("partsrv_computations_total", "Partition computations actually executed (cache misses that won the singleflight).")
@@ -204,22 +252,54 @@ func NewService(cfg Config) *Service {
 	reg.Help("partsrv_compute_ns", "Wall time of executed partition computations.")
 	reg.Help("partsrv_cache_bytes", "Current response-cache payload size.")
 	reg.Help("partsrv_cache_entries", "Current response-cache entry count.")
-	return &Service{
-		cfg:          cfg,
-		cache:        NewCache(cfg.CacheBytes, cfg.CacheEntries),
-		sem:          make(chan struct{}, cfg.Workers),
-		reqs:         reg.Counter("partsrv_requests_total"),
-		computations: reg.Counter("partsrv_computations_total"),
-		cacheHits:    reg.Counter("partsrv_cache_hits_total"),
-		cacheMisses:  reg.Counter("partsrv_cache_misses_total"),
-		sfShared:     reg.Counter("partsrv_singleflight_shared_total"),
-		degraded:     reg.Counter("partsrv_degraded_total"),
-		failures:     reg.Counter("partsrv_failures_total"),
-		large:        reg.Counter("partsrv_large_total"),
-		computeNs:    reg.Histogram("partsrv_compute_ns"),
-		cacheBytes:   reg.Gauge("partsrv_cache_bytes"),
-		cacheEntries: reg.Gauge("partsrv_cache_entries"),
+	reg.Help("partsrv_queue_depth", "Computations currently waiting for a worker slot.")
+	reg.Help("partsrv_queue_wait_ns", "Time admitted computations spent queued for a worker.")
+	reg.Help("partsrv_shed_total", "Requests shed by admission control, by reason (queue_full, deadline, cancelled).")
+	reg.Help("partsrv_breaker_state", "Per-method circuit-breaker state (0 closed, 1 open, 2 half-open).")
+	reg.Help("partsrv_breaker_transitions_total", "Circuit-breaker state transitions, by method and target state.")
+	reg.Help("partsrv_breaker_short_circuits_total", "Chain links skipped because their breaker was open.")
+	reg.Help("partsrv_admission_p50_ns", "Observed median compute service time, by route (admission shed threshold).")
+	s := &Service{
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheBytes, cfg.CacheEntries),
+		adm: newAdmitter(cfg.Workers, queueDepth, cfg.RetryAfter,
+			reg.Gauge("partsrv_queue_depth"), reg.Histogram("partsrv_queue_wait_ns")),
+		estimates:     make(map[string]*latEstimator, len(methodChains)),
+		reqs:          reg.Counter("partsrv_requests_total"),
+		computations:  reg.Counter("partsrv_computations_total"),
+		cacheHits:     reg.Counter("partsrv_cache_hits_total"),
+		cacheMisses:   reg.Counter("partsrv_cache_misses_total"),
+		sfShared:      reg.Counter("partsrv_singleflight_shared_total"),
+		degraded:      reg.Counter("partsrv_degraded_total"),
+		failures:      reg.Counter("partsrv_failures_total"),
+		large:         reg.Counter("partsrv_large_total"),
+		shedFull:      reg.Counter("partsrv_shed_total", "reason", "queue_full"),
+		shedDeadline:  reg.Counter("partsrv_shed_total", "reason", "deadline"),
+		shedCancelled: reg.Counter("partsrv_shed_total", "reason", "cancelled"),
+		computeNs:     reg.Histogram("partsrv_compute_ns"),
+		cacheBytes:    reg.Gauge("partsrv_cache_bytes"),
+		cacheEntries:  reg.Gauge("partsrv_cache_entries"),
 	}
+	for method := range methodChains {
+		s.estimates[method] = &latEstimator{}
+	}
+	if breakerFailures > 0 {
+		s.breakers = make(map[resilience.Strategy]*resilience.Breaker, 2)
+		for _, st := range []resilience.Strategy{resilience.StrategyKWay, resilience.StrategyRB} {
+			method := string(st)
+			stateGauge := reg.Gauge("partsrv_breaker_state", "method", method)
+			s.breakers[st] = resilience.NewBreaker(resilience.BreakerConfig{
+				FailureThreshold: breakerFailures,
+				LatencyBudget:    cfg.BreakerLatency,
+				Cooldown:         breakerCooldown,
+				OnTransition: func(_, to resilience.BreakerState) {
+					stateGauge.Set(int64(to))
+					reg.Counter("partsrv_breaker_transitions_total", "method", method, "to", to.String()).Inc()
+				},
+			})
+		}
+	}
+	return s
 }
 
 // Registry returns the metrics registry the service was built with (may be
@@ -288,39 +368,56 @@ func (s *Service) Partition(ctx context.Context, req Request) ([]byte, Meta, err
 	}
 	s.cacheMisses.Inc()
 
-	type outcome struct {
-		payload  []byte
-		degraded bool
-	}
 	v, shared, err := s.flight.Do(key, func() (any, error) {
 		// Double-check under the flight: a previous flight for this key may
 		// have filled the cache between our Get and Do.
 		if b, ok := s.cache.Get(key); ok {
-			return outcome{payload: b}, nil
+			return computed{payload: b}, nil
 		}
-		payload, degraded, err := s.compute(ctx, canon, key, req.DeadlineMS)
+		out, err := s.compute(ctx, canon, key, req.DeadlineMS)
 		if err != nil {
 			return nil, err
 		}
-		if !degraded {
-			s.cache.Put(key, payload)
+		// Only pure-function-of-the-request answers are cacheable; both
+		// degradation and breaker short-circuits reflect transient server
+		// state.
+		if !out.degraded && len(out.breakerSkipped) == 0 {
+			s.cache.Put(key, out.payload)
 			s.cacheBytes.Set(s.cache.Bytes())
 			s.cacheEntries.Set(int64(s.cache.Len()))
 		}
-		return outcome{payload: payload, degraded: degraded}, nil
+		return out, nil
 	})
 	if shared {
 		s.sfShared.Inc()
 	}
 	if err != nil {
-		s.failures.Inc()
+		if !isShed(err) {
+			// Sheds are deliberate back-pressure, already counted under
+			// partsrv_shed_total; failures_total stays a true error signal.
+			s.failures.Inc()
+		}
 		return nil, Meta{Shared: shared}, err
 	}
-	out := v.(outcome)
+	out := v.(computed)
 	if out.degraded {
 		s.degraded.Inc()
 	}
-	return out.payload, Meta{Shared: shared, Degraded: out.degraded, Elapsed: time.Since(start)}, nil
+	return out.payload, Meta{
+		Shared:      shared,
+		Degraded:    out.degraded,
+		BreakerOpen: len(out.breakerSkipped) > 0,
+		Elapsed:     time.Since(start),
+	}, nil
+}
+
+// computed is one computation's outcome as it travels through the
+// singleflight: the encoded payload plus the transient-state markers that
+// veto caching.
+type computed struct {
+	payload        []byte
+	degraded       bool
+	breakerSkipped []string
 }
 
 // isLarge reports whether ne falls in the large-problem regime.
@@ -338,9 +435,11 @@ func (s *Service) isLarge(ne int) bool { return s.cfg.LargeNe > 0 && ne >= s.cfg
 // multilevel methods, and LargeDeadline bounds the work. The routing depends
 // only on (Ne, server config), so cached answers stay deterministic; it is
 // not deadline degradation and does not mark the response Degraded.
-func (s *Service) compute(ctx context.Context, canon canonicalRequest, key string, deadlineMS int64) (payload []byte, degraded bool, err error) {
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+func (s *Service) compute(ctx context.Context, canon canonicalRequest, key string, deadlineMS int64) (computed, error) {
+	if err := s.admit(ctx, canon.Method); err != nil {
+		return computed{}, err
+	}
+	defer s.adm.release()
 
 	large := s.isLarge(canon.Ne)
 	cctx := context.WithoutCancel(ctx)
@@ -359,41 +458,60 @@ func (s *Service) compute(ctx context.Context, canon canonicalRequest, key strin
 	}
 	defer cancel()
 
+	// Chaos compute stall: injected by ChaosMiddleware as a context value so
+	// it survives the WithoutCancel detachment. The select is on the compute
+	// context — a client disconnect cannot cut the stall short, only the
+	// compute budget can, exactly as with genuinely slow work.
+	if d := computeStallFrom(ctx); d > 0 {
+		stall := time.NewTimer(d)
+		select {
+		case <-stall.C:
+		case <-cctx.Done():
+			stall.Stop()
+		}
+	}
+
 	t0 := time.Now()
 	m, err := mesh.NewAuto(canon.Ne)
 	if err != nil {
-		return nil, false, err
+		return computed{}, err
 	}
 	g, err := graph.FromMesh(m, graph.DefaultOptions())
 	if err != nil {
-		return nil, false, err
+		return computed{}, err
 	}
 	spec := resilience.NewFallbackSpec(canon.Ne, canon.NParts)
 	spec.Seed = canon.Seed
 	spec.MaxLB = canon.MaxLB
-	spec.Chain = methodChains[canon.Method]
+	chain := methodChains[canon.Method]
 	if large {
 		s.large.Inc()
 		if canon.Method == "auto" {
-			spec.Chain = resilience.RepartitionChain
+			chain = resilience.RepartitionChain
 		}
 	}
+	chain, skipped, probing := s.filterChain(chain)
+	spec.Chain = chain
 	spec.Mesh, spec.Graph = m, g
 	res, err := resilience.PartitionWithFallback(cctx, spec)
+	elapsed := time.Since(t0)
 	if err != nil {
-		return nil, false, err
+		s.recordBreakers(probing, nil, elapsed, err)
+		return computed{}, err
 	}
+	s.recordBreakers(probing, res, elapsed, nil)
 	st, err := partition.ComputeStats(g, res.Partition)
 	if err != nil {
-		return nil, false, err
+		return computed{}, err
 	}
 	s.computations.Inc()
-	s.computeNs.Observe(time.Since(t0).Nanoseconds())
+	s.computeNs.Observe(elapsed.Nanoseconds())
 
 	resp := Response{
 		Key: key, Ne: canon.Ne, NParts: canon.NParts, Method: canon.Method,
 		Seed: res.Seed, Strategy: string(res.Strategy),
 		Stats: st, Assignment: res.Partition.Assignment(),
+		BreakerSkipped: skipped,
 	}
 	for _, a := range res.Attempts {
 		resp.Attempts = append(resp.Attempts, fmt.Sprintf("%s(seed %d): %v", a.Strategy, a.Seed, a.Err))
@@ -401,9 +519,77 @@ func (s *Service) compute(ctx context.Context, canon canonicalRequest, key strin
 			resp.Degraded = true
 		}
 	}
+	if !resp.Degraded && len(skipped) == 0 {
+		// Feed the admission estimator only with representative samples:
+		// degraded and short-circuited computations are cheaper than the
+		// route's true cost and would bias the shed threshold down.
+		est := s.estimates[canon.Method]
+		est.observe(elapsed)
+		s.cfg.Registry.Gauge("partsrv_admission_p50_ns", "route", canon.Method).Set(int64(est.p50()))
+	}
 	b, err := json.Marshal(resp)
 	if err != nil {
-		return nil, false, err
+		return computed{}, err
 	}
-	return b, resp.Degraded, nil
+	return computed{payload: b, degraded: resp.Degraded, breakerSkipped: skipped}, nil
+}
+
+// filterChain removes chain links whose breaker refuses the call, returning
+// the surviving chain, the skipped link names, and the set of links that
+// consumed a breaker Allow (and therefore owe a Record or Cancel). The
+// SFC-family links carry no breaker, so a chain never filters to empty.
+func (s *Service) filterChain(chain []resilience.Strategy) ([]resilience.Strategy, []string, map[resilience.Strategy]bool) {
+	if len(s.breakers) == 0 {
+		return chain, nil, nil
+	}
+	kept := make([]resilience.Strategy, 0, len(chain))
+	var skipped []string
+	probing := make(map[resilience.Strategy]bool)
+	for _, st := range chain {
+		if br := s.breakers[st]; br != nil {
+			if !br.Allow() {
+				skipped = append(skipped, string(st))
+				s.cfg.Registry.Counter("partsrv_breaker_short_circuits_total", "method", string(st)).Inc()
+				continue
+			}
+			probing[st] = true
+		}
+		kept = append(kept, st)
+	}
+	return kept, skipped, probing
+}
+
+// recordBreakers settles every breaker Allow consumed by filterChain: the
+// winning strategy records a success with its latency, abandoned attempts
+// record their failures, and links the chain never reached hand their
+// half-open probe slot back with Cancel (otherwise a probe reserved for a
+// link answered upstream would wedge the breaker half-open forever).
+func (s *Service) recordBreakers(probing map[resilience.Strategy]bool, res *resilience.FallbackResult, elapsed time.Duration, chainErr error) {
+	if len(probing) == 0 {
+		return
+	}
+	recorded := make(map[resilience.Strategy]bool, len(probing))
+	if res != nil && probing[res.Strategy] {
+		s.breakers[res.Strategy].Record(elapsed, nil)
+		recorded[res.Strategy] = true
+	}
+	if res != nil {
+		for _, a := range res.Attempts {
+			if probing[a.Strategy] && !recorded[a.Strategy] {
+				s.breakers[a.Strategy].Record(0, a.Err)
+				recorded[a.Strategy] = true
+			}
+		}
+	}
+	for st := range probing {
+		if recorded[st] {
+			continue
+		}
+		if chainErr != nil {
+			// The whole chain failed: every admitted link shares the blame.
+			s.breakers[st].Record(0, chainErr)
+		} else {
+			s.breakers[st].Cancel()
+		}
+	}
 }

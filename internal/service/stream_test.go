@@ -1,0 +1,134 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"sfccube/internal/obs"
+	"sfccube/internal/resilience"
+)
+
+// waitCounter polls the registry until name reaches want or the deadline
+// passes.
+func waitCounter(t *testing.T, reg *obs.Registry, name string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Snapshot()[name] >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s never reached %v (snapshot: %v)", name, want, reg.Snapshot()[name])
+}
+
+// drainGoroutines polls until the goroutine count returns to within slack of
+// baseline.
+func drainGoroutines(t *testing.T, baseline, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+slack {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now, baseline %d (+%d slack)", runtime.NumGoroutine(), baseline, slack)
+}
+
+// TestStreamClientDisconnectMidStream: a client that reads the NDJSON
+// header and hangs up must not wedge the handler, and the computed result
+// must still land in the cache for the next caller.
+func TestStreamClientDisconnectMidStream(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	reg := obs.NewRegistry()
+	s := NewService(Config{Registry: reg})
+	ts := httptest.NewServer(s.Handler())
+
+	// ne=128 → 98304 assignment entries: several hundred KB over 7 chunks,
+	// far beyond what socket buffers swallow before the close lands.
+	resp, err := http.Get(ts.URL + "/v1/partition/stream?ne=128&nparts=12&method=sfc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("reading stream header: %v", err)
+	}
+	var hdr streamHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		t.Fatalf("stream header does not decode: %v", err)
+	}
+	if hdr.Chunks < 2 {
+		t.Fatalf("only %d chunks — the disconnect would not interrupt anything", hdr.Chunks)
+	}
+	resp.Body.Close() // hang up mid-stream
+
+	// The computation completed before streaming began, so the cache holds
+	// the full response despite the disconnect.
+	waitCounter(t, reg, "partsrv_cache_entries", 1)
+	payload, meta, err := s.Partition(context.Background(),
+		Request{Ne: 128, NParts: 12, Method: "sfc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.CacheHit {
+		t.Error("replay after disconnect missed the cache")
+	}
+	if got := decodeResponse(t, payload); len(got.Assignment) != 6*128*128 {
+		t.Errorf("cached assignment has %d entries, want %d", len(got.Assignment), 6*128*128)
+	}
+
+	ts.Close() // waits for the aborted handler to unwind
+	drainGoroutines(t, baseline, 2)
+}
+
+// TestStreamClientDisconnectMidCompute: the caller hangs up while the
+// computation is still running (a chaos compute stall keeps it busy). The
+// detached computation must run to completion and populate the cache; the
+// handler goroutine must drain.
+func TestStreamClientDisconnectMidCompute(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	reg := obs.NewRegistry()
+	s := NewService(Config{Registry: reg})
+	plan, err := resilience.ParseChaosPlan("computestall@1:300ms", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(ChaosMiddleware(plan, reg, s.Handler()))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		ts.URL+"/v1/partition/stream?ne=8&nparts=6&method=sfc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("client outlived its 50ms budget against a 300ms stall")
+	}
+
+	// The client is gone, but the detached computation finishes and caches.
+	waitCounter(t, reg, "partsrv_computations_total", 1)
+	waitCounter(t, reg, "partsrv_cache_entries", 1)
+	payload, meta, err := s.Partition(context.Background(),
+		Request{Ne: 8, NParts: 6, Method: "sfc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.CacheHit {
+		t.Error("detached computation did not populate the cache")
+	}
+	validate(t, decodeResponse(t, payload))
+
+	ts.Close()
+	drainGoroutines(t, baseline, 2)
+}
