@@ -55,6 +55,9 @@ var keyOf = map[string]string{
 	// baseline is refreshed by hand.
 	"BenchmarkSFCParallelNe384": "sfc_parallel_ne384_ns_per_op",
 	"BenchmarkRBK1536P12288":    "rb_ne1536_p12288_ns_per_op",
+	// Weighted regime (PR 10): the Ne=384 pipeline cutting the curve into
+	// near-equal-weight segments under the cfl physics proxy.
+	"BenchmarkWeightedSFCNe384": "weighted_sfc_ne384_ns_per_op",
 	// Raw-speed ceiling (PR 8): the pinned-parallelism scaling curve of the
 	// epoch scheduler (P1 = serial fast path, P2/P4 = dataflow workers) and
 	// the zero-alloc differentiation micro-kernel.

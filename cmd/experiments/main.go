@@ -9,14 +9,20 @@
 //	experiments -run table2         # one experiment
 //	experiments -run fig7 -out out/ # with CSV + SVG artifacts
 //
-// Experiments: table1, table2, fig7, fig8, fig9, fig10, k1944,
-// ablation-order, ablation-corners, ablation-tv, ablation-orderings,
-// future-scaling, dynamic, fidelity, amr, golden.
+// Experiments: table1, table2, table2-weighted, weighted-sweep, fig7, fig8,
+// fig9, fig10, k1944, ablation-order, ablation-corners, ablation-tv,
+// ablation-orderings, future-scaling, dynamic, fidelity, amr, golden,
+// golden-amr.
 //
-// The golden experiment recomputes the frozen partition-quality metrics
-// behind internal/check/testdata/golden/metrics.json; with -out it writes
-// golden-metrics.json ready to be copied over the checked-in file (see
-// TESTING.md for the refresh policy).
+// The weighted experiments (-weights selects the physics-proxy spec, e.g.
+// 'cfl' or 'hv:amp=16') rerun the Table-2 and sweep machinery under
+// heterogeneous element cost: the SFC curve is cut into equal-weight
+// segments and the METIS methods carry the same weights as vertex costs.
+//
+// The golden/golden-amr experiments recompute the frozen partition-quality
+// metrics behind internal/check/testdata/golden/{metrics,amr}.json; with
+// -out they write golden-metrics.json / golden-amr.json ready to be copied
+// over the checked-in files (see TESTING.md for the refresh policy).
 package main
 
 import (
@@ -34,15 +40,17 @@ func main() {
 	out := flag.String("out", "", "directory for CSV/SVG artifacts (optional)")
 	seed := flag.Int64("seed", 1, "random seed for the METIS-style partitioners")
 	tvSeeds := flag.Int("tv-seeds", 5, "seed count for the TV anomaly ablation")
+	weightSpec := flag.String("weights", experiments.DefaultWeightSpec,
+		"physics-proxy weight spec for the weighted experiments (internal/weights grammar)")
 	flag.Parse()
 
-	if err := runAll(*run, *out, *seed, *tvSeeds); err != nil {
+	if err := runAll(*run, *out, *seed, *tvSeeds, *weightSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func runAll(run, out string, seed int64, tvSeeds int) error {
+func runAll(run, out string, seed int64, tvSeeds int, weightSpec string) error {
 	type experiment struct {
 		name string
 		fn   func() (any, error)
@@ -69,6 +77,8 @@ func runAll(run, out string, seed int64, tvSeeds int) error {
 			}
 			return t, nil
 		}},
+		{"table2-weighted", func() (any, error) { return experiments.Table2Weighted(seed, weightSpec) }},
+		{"weighted-sweep", func() (any, error) { return experiments.WeightedSweep(8, 384, seed, weightSpec) }},
 		{"fig7", func() (any, error) { return experiments.Fig7(seed) }},
 		{"fig8", func() (any, error) { return experiments.Fig8(seed) }},
 		{"fig9", func() (any, error) { return experiments.Fig9(seed) }},
@@ -83,6 +93,7 @@ func runAll(run, out string, seed int64, tvSeeds int) error {
 		{"fidelity", func() (any, error) { return experiments.ModelFidelity(seed) }},
 		{"amr", func() (any, error) { return experiments.AMRPartition(seed) }},
 		{"golden", func() (any, error) { return check.ComputeGoldenSuite(check.DefaultGoldenCases()) }},
+		{"golden-amr", func() (any, error) { return check.ComputeAMRGoldenSuite(check.DefaultAMRGoldenCases()) }},
 	}
 	found := false
 	for _, ex := range exps {
@@ -133,6 +144,17 @@ func emit(result any, out string) error {
 		fmt.Print(string(b))
 		if out != "" {
 			if err := writeFile(out, "golden-metrics.json", string(b)); err != nil {
+				return err
+			}
+		}
+	case *check.AMRGoldenSuite:
+		b, err := r.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Print(string(b))
+		if out != "" {
+			if err := writeFile(out, "golden-amr.json", string(b)); err != nil {
 				return err
 			}
 		}

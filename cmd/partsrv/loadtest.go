@@ -164,7 +164,10 @@ func runLoadTest(cfg loadTestConfig) error {
 	herdComputations := snap("partsrv_computations_total")
 
 	// Phase 2 — distinct requests, then replay each once: the replays must
-	// be pure cache hits.
+	// be pure cache hits. Every other request carries a weights_spec, so the
+	// replays also prove the spec canonicalizes into the cache key (a
+	// weighted replay that recomputed would sink the work-avoidance ratio).
+	weightSpecs := []string{"", "cfl", "hv", "cfl:amp=16"}
 	for pass := 0; pass < 2; pass++ {
 		var wg sync.WaitGroup
 		perr := make([]error, cfg.distinct)
@@ -174,6 +177,9 @@ func runLoadTest(cfg loadTestConfig) error {
 				defer wg.Done()
 				url := fmt.Sprintf("%s/v1/partition?ne=8&nparts=%d&method=rb&seed=%d",
 					srv.URL(), 8+2*i, i)
+				if ws := weightSpecs[i%len(weightSpecs)]; ws != "" {
+					url += "&weights_spec=" + ws
+				}
 				perr[i] = get(url)
 			}(i)
 		}
@@ -183,6 +189,13 @@ func runLoadTest(cfg loadTestConfig) error {
 				return err
 			}
 		}
+	}
+
+	// Weighted schema check: a weighted answer must echo the canonical spec
+	// and carry the weighted balance alongside the element counts.
+	if err := checkWeightedResponse(client, srv.URL()+
+		"/v1/partition?ne=8&nparts=16&method=sfc&weights_spec=hyperviscosity:amp=8"); err != nil {
+		return err
 	}
 
 	// Assemble the report.
@@ -263,6 +276,35 @@ func runLoadTest(cfg loadTestConfig) error {
 				rep.Chaos.OK, rep.Chaos.TerminalOK, rep.Chaos.LatencyOK, rep.Chaos.GoroutinesOK, rep.Chaos.Outcomes)
 		}
 		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}
+
+// checkWeightedResponse fetches url (whose weights_spec uses a non-canonical
+// spelling) and asserts the weighted contract: the response echoes the
+// canonical spec and reports per-part weight totals with a finite weighted
+// balance.
+func checkWeightedResponse(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var r service.Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return fmt.Errorf("weighted response: %w", err)
+	}
+	if r.WeightsSpec != "hv" {
+		return fmt.Errorf("weighted response echoes weights_spec %q, want canonical \"hv\"", r.WeightsSpec)
+	}
+	if len(r.Stats.PartWeights) != r.NParts {
+		return fmt.Errorf("weighted response has %d part weights, want %d", len(r.Stats.PartWeights), r.NParts)
+	}
+	if r.Stats.LBWeighted < 0 {
+		return fmt.Errorf("weighted response LB %g out of range", r.Stats.LBWeighted)
 	}
 	return nil
 }
@@ -363,7 +405,7 @@ func runChaosPhase(cfg loadTestConfig) (*chaosReport, error) {
 			urls := []string{
 				srv.URL() + "/v1/partition?ne=8&nparts=12&method=sfc",
 				fmt.Sprintf("%s/v1/partition?ne=8&nparts=%d&method=rb&seed=%d", srv.URL(), 8+2*(i%8), i),
-				fmt.Sprintf("%s/v1/partition?ne=6&nparts=9&method=kway&seed=%d", srv.URL(), i),
+				fmt.Sprintf("%s/v1/partition?ne=6&nparts=9&method=kway&seed=%d&weights_spec=cfl", srv.URL(), i),
 				srv.URL() + "/v1/partition/stream?ne=8&nparts=12&method=serpentine",
 			}
 			for j, u := range urls {

@@ -40,6 +40,7 @@ import (
 	"sfccube/internal/obs"
 	"sfccube/internal/resilience"
 	"sfccube/internal/service"
+	"sfccube/internal/weights"
 )
 
 func main() {
@@ -57,6 +58,7 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures tripping a per-method circuit breaker (0 = default 5, negative = disable)")
 	breakerLatency := flag.Duration("breaker-latency", 0, "per-computation latency budget counted as a breaker failure (0 = off)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default 2s)")
+	weightsSpec := flag.String("weights", "", "default weights_spec for requests that carry none, in the internal/weights grammar (e.g. 'cfl' or 'hv:amp=16,m=6'; empty = uniform cost)")
 	chaos := flag.String("chaos", "", "seeded fault-injection plan, e.g. 'slowresp@0.2:40ms,droppedconn@0.1,computestall@0.15:80ms,errinject@0.1' (empty = off)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the chaos plan; same seed and traffic order replay the same faults")
 
@@ -68,6 +70,13 @@ func main() {
 	ltChaos := flag.String("loadtest-chaos", "", "run the chaos soak phase of the load smoke under this fault plan (empty = skip)")
 	ltChaosSeed := flag.Uint64("loadtest-chaos-seed", 1, "seed for the load-smoke chaos plan")
 	flag.Parse()
+
+	// A bad default-weights spec is a server misconfiguration, not a client
+	// error: fail at startup instead of 400ing every request.
+	if _, err := weights.Parse(*weightsSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "partsrv: -weights:", err)
+		os.Exit(2)
+	}
 
 	cfg := service.Config{
 		MaxNe:           *maxNe,
@@ -82,6 +91,7 @@ func main() {
 		BreakerFailures: *breakerFailures,
 		BreakerLatency:  *breakerLatency,
 		BreakerCooldown: *breakerCooldown,
+		DefaultWeights:  *weightsSpec,
 		Registry:        obs.NewRegistry(),
 	}
 

@@ -1,0 +1,117 @@
+package amr
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"sfccube/internal/partition"
+	"sfccube/internal/sfc"
+	"sfccube/internal/weights"
+)
+
+// fuzzNe is the admissible base-size alphabet (2^n * 3^m) the forest fuzz
+// target draws from; the raw fuzz byte indexes into it so every input is
+// on-domain and the budget goes to the ordering oracle, not constructor
+// validation. Sizes stay small because the brute-force oracle materialises
+// the finest uniform mesh (6 * (Ne << maxLevel)^2 elements).
+var fuzzNe = []int{1, 2, 3, 4, 6, 8}
+
+// FuzzForestOrder drives the tree-SFC ordering over (base size, depth,
+// refinement pattern, motif order, part count): the O(leaves * maxLevel)
+// CurveOrder must equal the brute-force Order oracle — which ranks every
+// leaf by descending to the finest uniform mesh — for any refinement
+// pattern, and the weighted curve partition built on that order must be a
+// contiguous, non-empty split whose weighted totals are consistent. The
+// typed weight-error contract is pinned on every input too.
+func FuzzForestOrder(f *testing.F) {
+	f.Add(uint8(2), uint8(1), uint8(0), int64(5), uint16(7))    // ne=3, 1 level, PeanoFirst
+	f.Add(uint8(5), uint8(2), uint8(1), int64(42), uint16(24))  // ne=8, 2 levels, HilbertFirst
+	f.Add(uint8(0), uint8(2), uint8(2), int64(0), uint16(1))    // smallest base, one part
+	f.Add(uint8(3), uint8(0), uint8(0), int64(-1), uint16(500)) // no refinement: nparts wraps
+	f.Fuzz(func(t *testing.T, neIdx, levelRaw, orderRaw uint8, seed int64, npartsRaw uint16) {
+		ne := fuzzNe[int(neIdx)%len(fuzzNe)]
+		maxLevel := int(levelRaw) % 3
+		order := sfc.Order(int(orderRaw) % 3)
+
+		// Pseudorandom but pure refinement decision: a hash of the cell
+		// coordinates and the fuzzed seed refines roughly one cell in three.
+		refine := func(l Leaf) bool {
+			h := uint64(seed) ^ uint64(l.Face)<<48 ^ uint64(l.X)<<24 ^ uint64(l.Y)<<8 ^ uint64(l.Level)
+			h *= 0x9E3779B97F4A7C15
+			return (h>>61)%3 == 0
+		}
+		fr, err := NewForest(ne, maxLevel, refine)
+		if err != nil {
+			t.Fatalf("ne=%d maxLevel=%d: %v", ne, maxLevel, err)
+		}
+
+		got, err := fr.CurveOrder(order)
+		if err != nil {
+			t.Fatalf("CurveOrder: %v", err)
+		}
+		want, err := fr.Order(order)
+		if err != nil {
+			t.Fatalf("Order: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ne=%d maxLevel=%d order=%v: tree-descent order diverges from the brute-force oracle",
+				ne, maxLevel, order)
+		}
+		seen := make([]bool, fr.NumLeaves())
+		for _, i := range got {
+			if i < 0 || i >= len(seen) || seen[i] {
+				t.Fatalf("CurveOrder is not a permutation: index %d", i)
+			}
+			seen[i] = true
+		}
+
+		// Weighted partition on the tree order: contiguous along the curve,
+		// every part non-empty, weights conserved.
+		spec, err := weights.Parse("cfl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := fr.LeafWeights(spec)
+		nparts := 1 + int(npartsRaw)%fr.NumLeaves()
+		p, err := fr.PartitionCurve(order, nparts, w)
+		if err != nil {
+			t.Fatalf("PartitionCurve nparts=%d: %v", nparts, err)
+		}
+		prev := 0
+		counts := make([]int, nparts)
+		var partTotal, total int64
+		for rank, leaf := range got {
+			part := p.Part(leaf)
+			if part < prev || part >= nparts {
+				t.Fatalf("rank %d: part %d after %d — split not contiguous on the tree curve", rank, part, prev)
+			}
+			prev = part
+			counts[part]++
+			partTotal += w[leaf]
+		}
+		for _, lw := range w {
+			total += lw
+		}
+		if partTotal != total {
+			t.Fatalf("assigned weight %d != total weight %d", partTotal, total)
+		}
+		for q, n := range counts {
+			if n == 0 {
+				t.Fatalf("part %d empty out of %d", q, nparts)
+			}
+		}
+
+		// Typed error contract for malformed leaf weights.
+		bad := append([]int64(nil), w...)
+		bad[len(bad)/2] = -1
+		var we *partition.WeightError
+		if _, err := fr.PartitionCurve(order, nparts, bad); !errors.As(err, &we) {
+			t.Errorf("negative leaf weight: got %v, want *partition.WeightError", err)
+		}
+		var ze *partition.ZeroTotalWeightError
+		if _, err := fr.PartitionCurve(order, nparts, make([]int64, fr.NumLeaves())); !errors.As(err, &ze) {
+			t.Errorf("all-zero leaf weights: got %v, want *partition.ZeroTotalWeightError", err)
+		}
+	})
+}

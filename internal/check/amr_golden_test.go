@@ -1,0 +1,78 @@
+package check
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const amrGoldenPath = "testdata/golden/amr.json"
+
+// TestAMRGoldenMetrics is the drift gate on adaptive-mesh partition quality:
+// every frozen (forest, part-count, method) cell is recomputed — passing the
+// structural oracle and the surface-to-volume audit on the way — and
+// compared against testdata/golden/amr.json. Refresh after an intentional
+// change with
+//
+//	go test ./internal/check -run TestAMRGoldenMetrics -update-golden
+func TestAMRGoldenMetrics(t *testing.T) {
+	if *updateGolden {
+		s, err := ComputeAMRGoldenSuite(DefaultAMRGoldenCases())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(amrGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(amrGoldenPath, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", amrGoldenPath, len(s.Cases))
+		return
+	}
+	s, err := LoadAMRGoldenSuite(amrGoldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if err := s.Compare(); err != nil {
+		t.Error(err)
+	}
+}
+
+// The frozen AMR file must cover the declared case matrix exactly once per
+// method, and the weighted tree-curve split must beat or match the
+// unweighted leaf-count balance the graph methods target — the reason the
+// adaptive regime exists.
+func TestAMRGoldenSuiteCoversCaseMatrix(t *testing.T) {
+	s, err := LoadAMRGoldenSuite(amrGoldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	want := DefaultAMRGoldenCases()
+	if got := len(s.Cases); got != len(want)*len(AMRMethods) {
+		t.Fatalf("AMR golden file has %d cells, want %d cases x %d methods",
+			got, len(want), len(AMRMethods))
+	}
+	type cell struct {
+		c      AMRCase
+		method string
+	}
+	seen := make(map[cell]int)
+	for _, gc := range s.Cases {
+		seen[cell{gc.AMRCase, gc.Method}]++
+		if gc.SVMaxRatio <= 0 {
+			t.Errorf("AMR cell %+v %s has sv_max_ratio %g, want > 0", gc.AMRCase, gc.Method, gc.SVMaxRatio)
+		}
+	}
+	for _, c := range want {
+		for _, m := range AMRMethods {
+			if n := seen[cell{c, m}]; n != 1 {
+				t.Errorf("AMR cell %+v %s appears %d times, want 1", c, m, n)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"errors"
 	"testing"
 
 	"sfccube/internal/core"
@@ -132,6 +133,106 @@ func FuzzDSSPlan(f *testing.F) {
 		}
 		if err := ValidateDSS(g, d, seed); err != nil {
 			t.Errorf("ne=%d deg=%d seed=%d: %v", ne, deg, seed, err)
+		}
+	})
+}
+
+// FuzzWeightedSplit drives the weighted SFC split over (mesh size, part
+// count, weight stream): for any non-negative weight vector with positive
+// total, the partition must stay structurally valid, every part must occupy
+// one contiguous run of curve ranks, and the weighted statistics
+// (PartWeights, LBWeighted) must agree exactly with an independent
+// recomputation from the raw assignment. Zero weights (inactive elements)
+// are injected on a fuzzed stride; malformed vectors must fail with the
+// typed errors and never produce a partition.
+func FuzzWeightedSplit(f *testing.F) {
+	f.Add(uint8(5), uint16(16), int64(1), uint8(0))   // ne=8, 16 parts, no zeros
+	f.Add(uint8(3), uint16(7), int64(42), uint8(2))   // ragged parts, zeros every 3rd
+	f.Add(uint8(0), uint16(1), int64(0), uint8(0))    // smallest mesh, one part
+	f.Add(uint8(8), uint16(767), int64(9), uint8(11)) // paper regime, sparse zeros
+	f.Fuzz(func(t *testing.T, neIdx uint8, nprocsRaw uint16, seed int64, zeroStride uint8) {
+		ne := fuzzSizes[int(neIdx)%len(fuzzSizes)]
+		k := 6 * ne * ne
+		nprocs := 1 + int(nprocsRaw)%k
+
+		// LCG weight stream in [0, 64), with zeros forced on a stride.
+		w := make([]int64, k)
+		var total int64
+		x := uint64(seed)*6364136223846793005 + 1442695040888963407
+		for v := range w {
+			x = x*6364136223846793005 + 1442695040888963407
+			w[v] = int64((x >> 33) % 64)
+			if zeroStride > 0 && v%(int(zeroStride)+1) == 0 {
+				w[v] = 0
+			}
+			total += w[v]
+		}
+		if total == 0 {
+			w[k/2] = 1 // keep the vector on-domain; the error paths are pinned below
+		}
+
+		res, err := core.PartitionCubedSphere(core.Config{Ne: ne, NProcs: nprocs, Weights: w})
+		if err != nil {
+			t.Fatalf("ne=%d nprocs=%d: %v", ne, nprocs, err)
+		}
+		g, err := graph.FromMesh(res.Mesh, graph.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := res.Partition
+		if err := ValidatePartition(g, p); err != nil {
+			t.Errorf("ne=%d nprocs=%d: %v", ne, nprocs, err)
+		}
+
+		// Contiguity: walking the curve, the part index never decreases —
+		// every part is one contiguous curve segment.
+		prev := 0
+		byRank := make([]int, k)
+		for v := 0; v < k; v++ {
+			byRank[res.Curve.Rank(mesh.ElemID(v))] = p.Part(v)
+		}
+		for rank, part := range byRank {
+			if part < prev {
+				t.Fatalf("ne=%d nprocs=%d: part drops %d -> %d at rank %d — split not contiguous",
+					ne, nprocs, prev, part, rank)
+			}
+			prev = part
+		}
+
+		// Weighted stats agree with an independent recomputation.
+		st, err := partition.ComputeStatsWeighted(g, p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals := make([]int64, nprocs)
+		for v := 0; v < k; v++ {
+			totals[p.Part(v)] += w[v]
+		}
+		for q, want := range totals {
+			if st.PartWeights[q] != want {
+				t.Fatalf("part %d: PartWeights=%d, recomputed %d", q, st.PartWeights[q], want)
+			}
+		}
+		if lb := partition.LoadBalanceInt64(totals); st.LBWeighted != lb {
+			t.Fatalf("LBWeighted=%g, recomputed %g", st.LBWeighted, lb)
+		}
+		for q, n := range st.Nelemd {
+			if n == 0 {
+				t.Fatalf("part %d is empty — contiguous split must keep every part non-empty", q)
+			}
+		}
+
+		// Typed error paths: a negative entry and an all-zero vector must
+		// fail before any partition exists.
+		bad := append([]int64(nil), w...)
+		bad[int(x>>40)%k] = -1
+		var we *partition.WeightError
+		if _, err := core.PartitionCubedSphere(core.Config{Ne: ne, NProcs: nprocs, Weights: bad}); !errors.As(err, &we) {
+			t.Errorf("negative weight: got %v, want *partition.WeightError", err)
+		}
+		var ze *partition.ZeroTotalWeightError
+		if _, err := core.PartitionCubedSphere(core.Config{Ne: ne, NProcs: nprocs, Weights: make([]int64, k)}); !errors.As(err, &ze) {
+			t.Errorf("all-zero weights: got %v, want *partition.ZeroTotalWeightError", err)
 		}
 	})
 }

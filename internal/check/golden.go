@@ -11,16 +11,18 @@ import (
 // cell — the numbers behind the paper's section-4 tables — so later PRs fail
 // loudly when a refactor drifts partition quality.
 type GoldenCase struct {
-	Ne     int    `json:"ne"`
-	NProcs int    `json:"nprocs"`
-	Method string `json:"method"`
-	Seed   int64  `json:"seed"`
+	Ne      int    `json:"ne"`
+	NProcs  int    `json:"nprocs"`
+	Method  string `json:"method"`
+	Seed    int64  `json:"seed"`
+	Weights string `json:"weights,omitempty"` // physics-proxy spec; "" = unit cost
 
 	LBNelemd    float64 `json:"lb_nelemd"`
 	LBSpcv      float64 `json:"lb_spcv"`
 	EdgeCut     int64   `json:"edgecut"`
 	TCV         int64   `json:"tcv"`
 	CutVertices int64   `json:"cut_vertices"`
+	SVMaxRatio  float64 `json:"sv_max_ratio"` // worst Surface/sqrt(Volume) over parts
 }
 
 // GoldenTolerance is the drift policy applied when comparing a recomputed
@@ -57,11 +59,19 @@ type GoldenSuite struct {
 
 // DefaultGoldenCases is the case matrix the golden suite freezes: the
 // paper's Table-2 configuration (Ne=16 on 768 processors) plus the
-// acceptance matrix K in {4, 16, 64}, for every method.
+// acceptance matrix K in {4, 16, 64}, for every method — and the weighted
+// regime the paper never reaches: the same mesh under both physics-proxy
+// weight generators, so weighted curve splitting and weighted METIS costs
+// are pinned alongside the unit-cost numbers.
 func DefaultGoldenCases() []Case {
 	var out []Case
 	for _, nprocs := range []int{4, 16, 64, 768} {
 		out = append(out, Case{Ne: 16, NProcs: nprocs, Seed: 1})
+	}
+	for _, spec := range []string{"cfl", "hv"} {
+		for _, nprocs := range []int{16, 64} {
+			out = append(out, Case{Ne: 16, NProcs: nprocs, Seed: 1, Weights: spec})
+		}
 	}
 	return out
 }
@@ -84,11 +94,13 @@ func ComputeGoldenSuite(cases []Case) (*GoldenSuite, error) {
 			m := r.Metrics[method]
 			s.Cases = append(s.Cases, GoldenCase{
 				Ne: c.Ne, NProcs: c.NProcs, Method: method, Seed: c.Seed,
+				Weights:     c.Weights,
 				LBNelemd:    m.LBNelemd,
 				LBSpcv:      m.LBSpcv,
 				EdgeCut:     m.EdgeCut,
 				TCV:         m.TotalCommVolume,
 				CutVertices: m.CutVertices,
+				SVMaxRatio:  m.SVMaxRatio,
 			})
 		}
 	}
@@ -126,14 +138,15 @@ func (s *GoldenSuite) Compare() error {
 	type key struct {
 		ne, nprocs int
 		seed       int64
+		weights    string
 	}
 	results := make(map[key]*Result)
 	for _, gc := range s.Cases {
-		k := key{gc.Ne, gc.NProcs, gc.Seed}
+		k := key{gc.Ne, gc.NProcs, gc.Seed, gc.Weights}
 		r, ok := results[k]
 		if !ok {
 			var err error
-			r, err = RunDifferential(Case{Ne: gc.Ne, NProcs: gc.NProcs, Seed: gc.Seed})
+			r, err = RunDifferential(Case{Ne: gc.Ne, NProcs: gc.NProcs, Seed: gc.Seed, Weights: gc.Weights})
 			if err != nil {
 				return err
 			}
@@ -144,6 +157,9 @@ func (s *GoldenSuite) Compare() error {
 			return fmt.Errorf("check: golden case %s ne=%d nprocs=%d: unknown method", gc.Method, gc.Ne, gc.NProcs)
 		}
 		label := fmt.Sprintf("golden %s ne=%d nprocs=%d", gc.Method, gc.Ne, gc.NProcs)
+		if gc.Weights != "" {
+			label += " weights=" + gc.Weights
+		}
 		if err := compareLB(label+" lb_nelemd", m.LBNelemd, gc.LBNelemd, tol); err != nil {
 			return err
 		}
@@ -159,6 +175,24 @@ func (s *GoldenSuite) Compare() error {
 		if err := compareInt(label+" cut_vertices", m.CutVertices, gc.CutVertices, tol); err != nil {
 			return err
 		}
+		if err := compareRatio(label+" sv_max_ratio", m.SVMaxRatio, gc.SVMaxRatio, tol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compareRatio applies the integer drift policy to a float ratio metric:
+// relative slack IntRel, never tighter than an absolute floor of IntRel
+// itself (SV ratios are O(10), so the relative term dominates).
+func compareRatio(label string, got, want float64, tol GoldenTolerance) error {
+	slack := tol.IntRel * math.Abs(want)
+	if slack < tol.IntRel {
+		slack = tol.IntRel
+	}
+	if math.Abs(got-want) > slack {
+		return fmt.Errorf("check: %s drifted: got %.4f, golden %.4f (tolerance %.4f)",
+			label, got, want, slack)
 	}
 	return nil
 }

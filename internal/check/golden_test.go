@@ -66,22 +66,30 @@ func TestGoldenSuiteCoversCaseMatrix(t *testing.T) {
 	type cell struct {
 		ne, nprocs int
 		method     string
+		weights    string
 	}
 	seen := make(map[cell]int)
 	for _, gc := range s.Cases {
-		seen[cell{gc.Ne, gc.NProcs, gc.Method}]++
+		seen[cell{gc.Ne, gc.NProcs, gc.Method, gc.Weights}]++
 	}
 	for _, c := range want {
 		for _, m := range Methods {
-			if n := seen[cell{c.Ne, c.NProcs, m}]; n != 1 {
-				t.Errorf("cell (ne=%d, nprocs=%d, %s) appears %d times, want 1", c.Ne, c.NProcs, m, n)
+			if n := seen[cell{c.Ne, c.NProcs, m, c.Weights}]; n != 1 {
+				t.Errorf("cell (ne=%d, nprocs=%d, %s, weights=%q) appears %d times, want 1",
+					c.Ne, c.NProcs, m, c.Weights, n)
 			}
 		}
 	}
-	// The frozen SFC rows must exhibit the paper's headline property.
 	for _, gc := range s.Cases {
-		if gc.Method == "SFC" && (6*gc.Ne*gc.Ne)%gc.NProcs == 0 && gc.LBNelemd != 0 {
+		// The frozen unit-cost SFC rows must exhibit the paper's headline
+		// property; weighted rows balance weight, not counts.
+		if gc.Method == "SFC" && gc.Weights == "" && (6*gc.Ne*gc.Ne)%gc.NProcs == 0 && gc.LBNelemd != 0 {
 			t.Errorf("frozen SFC cell (ne=%d, nprocs=%d) has LB %g, want 0", gc.Ne, gc.NProcs, gc.LBNelemd)
+		}
+		// Every frozen cell carries a surface audit value.
+		if gc.SVMaxRatio <= 0 {
+			t.Errorf("cell (ne=%d, nprocs=%d, %s, weights=%q) has sv_max_ratio %g, want > 0",
+				gc.Ne, gc.NProcs, gc.Method, gc.Weights, gc.SVMaxRatio)
 		}
 	}
 }

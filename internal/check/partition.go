@@ -74,6 +74,14 @@ type Metrics struct {
 
 	TotalCommVolume int64 // sum over vertices of vsize(v) * #distinct remote parts
 	CutVertices     int64 // vertices with at least one cut edge
+
+	// Surface-to-volume quality (see surface.go): unweighted cut edges
+	// incident to each part and the summary ratios Surface/sqrt(Volume).
+	// Cross-checked against the independent ComputeSurfaceToVolume oracle
+	// by the differential harness.
+	Surface     []int64
+	SVMaxRatio  float64
+	SVMeanRatio float64
 }
 
 // ComputeMetrics recomputes every quality metric of p on g from first
@@ -89,6 +97,7 @@ func ComputeMetrics(g *graph.Graph, p *partition.Partition) (Metrics, error) {
 		Counts:   make([]int, p.NumParts()),
 		Weighted: make([]int64, p.NumParts()),
 		Spcv:     make([]int64, p.NumParts()),
+		Surface:  make([]int64, p.NumParts()),
 	}
 	for v := 0; v < n; v++ {
 		q := p.Part(v)
@@ -115,6 +124,8 @@ func ComputeMetrics(g *graph.Graph, p *partition.Partition) (Metrics, error) {
 			m.EdgeCutUnweighted++
 			m.Spcv[pu] += w
 			m.Spcv[pv] += w
+			m.Surface[pu]++
+			m.Surface[pv]++
 			if remote[u] == nil {
 				remote[u] = make(map[int]bool, 4)
 			}
@@ -133,6 +144,21 @@ func ComputeMetrics(g *graph.Graph, p *partition.Partition) (Metrics, error) {
 	}
 	m.LBNelemd = partition.LoadBalanceInt64(m.Weighted)
 	m.LBSpcv = partition.LoadBalanceInt64(m.Spcv)
+	nonEmpty := 0
+	for q := 0; q < m.NParts; q++ {
+		if m.Counts[q] == 0 {
+			continue
+		}
+		nonEmpty++
+		r := float64(m.Surface[q]) / math.Sqrt(float64(m.Counts[q]))
+		m.SVMeanRatio += r
+		if r > m.SVMaxRatio {
+			m.SVMaxRatio = r
+		}
+	}
+	if nonEmpty > 0 {
+		m.SVMeanRatio /= float64(nonEmpty)
+	}
 	return m, nil
 }
 

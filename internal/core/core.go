@@ -77,7 +77,10 @@ func PartitionCubedSphere(cfg Config) (*Result, error) {
 // PartitionCurve splits an existing cubed-sphere curve into nprocs contiguous
 // segments of near-equal weight and returns the element-to-processor
 // assignment. weights may be nil for uniform element cost; otherwise it is
-// indexed by mesh.ElemID.
+// indexed by mesh.ElemID. Zero weights mark inactive elements and are
+// allowed; a negative weight fails with *partition.WeightError and an
+// all-zero vector with *partition.ZeroTotalWeightError (both reported in
+// element-id space, before the curve permutation), never a degenerate split.
 //
 // The weight permutation into curve order and the scatter back to element
 // ids are pure gather/scatter loops over the curve bijection and fan out
@@ -98,6 +101,12 @@ func PartitionCurve(curve *sfc.CubeCurve, nprocs int, weights []int64) (*partiti
 	} else {
 		if len(weights) != k {
 			return nil, fmt.Errorf("core: %d weights for %d elements", len(weights), k)
+		}
+		// Validate in element-id space so a typed error points at the
+		// element, not its curve rank (SplitContiguous would re-discover the
+		// problem, but only after the permutation scrambles the index).
+		if err := partition.ValidateWeights(weights); err != nil {
+			return nil, err
 		}
 		par.ForChunks(k, 1<<15, func(lo, hi int) {
 			for rank := lo; rank < hi; rank++ {

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"sfccube/internal/graph"
+	"sfccube/internal/mesh"
 	"sfccube/internal/partition"
 	"sfccube/internal/sfc"
+	"sfccube/internal/weights"
 )
 
 func TestPartitionCubedSphereBasics(t *testing.T) {
@@ -188,5 +191,57 @@ func BenchmarkSFCParallelNe384(b *testing.B) {
 		if _, err := PartitionCubedSphere(Config{Ne: 384, NProcs: 9216}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWeightedSFCNe384 is the same million-element pipeline under a
+// non-uniform weight vector: the curve is cut into near-equal-weight
+// segments by the sequential greedy walk instead of the exact uniform
+// blocks, plus the gather/scatter weight permutation. Tracked in
+// BENCH_metis.json and gated in CI (cmd/benchgate, +/-20%); the gap to
+// BenchmarkSFCParallelNe384 is the price of weighted splitting.
+func BenchmarkWeightedSFCNe384(b *testing.B) {
+	m, err := mesh.NewAuto(384)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := weights.Parse("cfl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := spec.Generate(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PartitionCubedSphere(Config{Ne: 384, NProcs: 9216, Weights: w}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWeightValidationTypedErrors pins the typed-error contract of the
+// weighted split: a negative weight fails with *partition.WeightError whose
+// index is the element id (not the scrambled curve rank), and an all-zero
+// vector fails with *partition.ZeroTotalWeightError. Both must fail before
+// any partition is produced.
+func TestWeightValidationTypedErrors(t *testing.T) {
+	const ne, k = 2, 6 * 2 * 2
+
+	w := make([]int64, k)
+	for i := range w {
+		w[i] = 1
+	}
+	w[7] = -3
+	var we *partition.WeightError
+	if _, err := PartitionCubedSphere(Config{Ne: ne, NProcs: 2, Weights: w}); !errors.As(err, &we) {
+		t.Fatalf("negative weight: got %v, want *partition.WeightError", err)
+	} else if we.Index != 7 || we.Weight != -3 {
+		t.Errorf("WeightError points at (%d, %d), want element (7, -3)", we.Index, we.Weight)
+	}
+
+	var ze *partition.ZeroTotalWeightError
+	if _, err := PartitionCubedSphere(Config{Ne: ne, NProcs: 2, Weights: make([]int64, k)}); !errors.As(err, &ze) {
+		t.Fatalf("all-zero weights: got %v, want *partition.ZeroTotalWeightError", err)
+	} else if ze.N != k {
+		t.Errorf("ZeroTotalWeightError.N = %d, want %d", ze.N, k)
 	}
 }

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWeightedSweepClosesTheGap is the reason weighted splitting exists: at
+// every processor count the weighted SFC split must balance the weights at
+// least as well as the unweighted split judged under the same weights, and
+// strictly better somewhere in the sweep.
+func TestWeightedSweepClosesTheGap(t *testing.T) {
+	fig, err := WeightedSweep(8, 96, 1, "cfl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sfc, unw *Line
+	for i := range fig.Lines {
+		switch fig.Lines[i].Label {
+		case "SFC":
+			sfc = &fig.Lines[i]
+		case "SFC-UNW":
+			unw = &fig.Lines[i]
+		}
+	}
+	if sfc == nil || unw == nil {
+		t.Fatal("sweep is missing the SFC or SFC-UNW series")
+	}
+	if len(sfc.Y) != len(unw.Y) || len(sfc.Y) == 0 {
+		t.Fatalf("series lengths %d vs %d", len(sfc.Y), len(unw.Y))
+	}
+	strictly := false
+	for i := range sfc.Y {
+		if sfc.Y[i] > unw.Y[i]+1e-12 {
+			t.Errorf("nproc=%g: weighted LB %.4f worse than unweighted %.4f",
+				sfc.X[i], sfc.Y[i], unw.Y[i])
+		}
+		if sfc.Y[i] < unw.Y[i]-1e-12 {
+			strictly = true
+		}
+	}
+	if !strictly {
+		t.Error("weighted split never beat the unweighted split — the sweep shows nothing")
+	}
+	// Every series starts at the serial point with perfect balance.
+	for _, l := range fig.Lines {
+		if l.X[0] != 1 || l.Y[0] != 0 {
+			t.Errorf("series %s starts at (%g, %g), want (1, 0)", l.Label, l.X[0], l.Y[0])
+		}
+	}
+}
+
+func TestTable2WeightedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Ne=16 x 768 parts x 4 methods")
+	}
+	tab, err := Table2Weighted(1, "cfl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("weighted table has %d rows, want 5", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "LB(weight)" {
+		t.Fatalf("headline row is %q, want LB(weight)", tab.Rows[0][0])
+	}
+	if out := tab.Render(); !strings.Contains(out, "weighted, cfl") {
+		t.Error("render missing the weight spec")
+	}
+}
+
+// A uniform spec has no weighted story to tell; the weighted experiments
+// refuse it instead of rendering an all-zero table.
+func TestWeightedExperimentsRejectUniform(t *testing.T) {
+	if _, err := Table2Weighted(1, "uniform"); err == nil {
+		t.Error("Table2Weighted accepted a uniform spec")
+	}
+	if _, err := WeightedSweep(8, 96, 1, ""); err == nil {
+		t.Error("WeightedSweep accepted a uniform spec")
+	}
+	if _, err := WeightedSweep(8, 96, 1, "nosuch"); err == nil {
+		t.Error("WeightedSweep accepted an unparseable spec")
+	}
+}

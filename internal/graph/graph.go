@@ -168,6 +168,17 @@ func (g *Graph) VertexWeight(v int) int32 { return g.vwgt[v] }
 // VertexSize returns the communication volume contributed by v when cut.
 func (g *Graph) VertexSize(v int) int32 { return g.vsize[v] }
 
+// SetVertexWeights replaces every vertex weight. Used to attach non-uniform
+// computation costs to graphs built from adjacency streams (e.g. AMR
+// forests), which FromAdjacency creates with unit weights.
+func (g *Graph) SetVertexWeights(w []int32) error {
+	if len(w) != len(g.vwgt) {
+		return fmt.Errorf("graph: %d vertex weights for %d vertices", len(w), len(g.vwgt))
+	}
+	copy(g.vwgt, w)
+	return nil
+}
+
 // TotalVertexWeight returns the sum of all vertex weights.
 func (g *Graph) TotalVertexWeight() int64 {
 	var s int64

@@ -118,6 +118,63 @@ func LoadBalanceInts(s []int) float64 {
 	return LoadBalance(f)
 }
 
+// WeightError reports a negative element weight handed to a weighted split
+// or a weighted statistics computation. Negative computation cost has no
+// meaning, and letting it through would make the greedy prefix walk produce
+// degenerate (e.g. all-in-one-part) cuts; callers can match it with
+// errors.As.
+type WeightError struct {
+	Index  int   // position of the offending weight
+	Weight int64 // the offending value
+}
+
+func (e *WeightError) Error() string {
+	return fmt.Sprintf("partition: negative weight %d at position %d", e.Weight, e.Index)
+}
+
+// ZeroTotalWeightError reports a weight vector that sums to zero: with no
+// weight to balance, every cut point is equally "optimal" and the greedy
+// walk would collapse to a degenerate split (one part hoarding nearly all
+// items). Individual zero weights are fine — inactive elements are a normal
+// feature of physics-proxy workloads — but at least one weight must be
+// positive.
+type ZeroTotalWeightError struct {
+	N int // number of weights, all zero
+}
+
+func (e *ZeroTotalWeightError) Error() string {
+	return fmt.Sprintf("partition: all %d weights are zero; cannot balance zero total weight", e.N)
+}
+
+// ValidateWeights checks a weight vector for the weighted splits and
+// statistics: entries must be non-negative (*WeightError otherwise) and at
+// least one must be positive (*ZeroTotalWeightError otherwise). An empty or
+// nil vector is valid — it means uniform cost.
+func ValidateWeights(weights []int64) error {
+	_, _, err := validateWeights(weights)
+	return err
+}
+
+// validateWeights rejects negative entries (*WeightError) and an all-zero
+// vector (*ZeroTotalWeightError), returning the total and whether all
+// weights are equal.
+func validateWeights(weights []int64) (total int64, uniform bool, err error) {
+	uniform = true
+	for i, w := range weights {
+		if w < 0 {
+			return 0, false, &WeightError{Index: i, Weight: w}
+		}
+		if w != weights[0] {
+			uniform = false
+		}
+		total += w
+	}
+	if total == 0 && len(weights) > 0 {
+		return 0, false, &ZeroTotalWeightError{N: len(weights)}
+	}
+	return total, uniform, nil
+}
+
 // SplitContiguous divides the sequence 0..len(weights)-1 into nparts
 // contiguous, non-empty segments with near-equal total weight and returns the
 // part index of every position. This is the final step of the SFC algorithm:
@@ -128,7 +185,9 @@ func LoadBalanceInts(s []int) float64 {
 // floor(n/nparts) or ceil(n/nparts) items. For non-uniform weights a greedy
 // prefix walk cuts each segment at the point that brings its weight closest
 // to the remaining average, while always leaving enough items for the
-// remaining parts.
+// remaining parts. Zero weights are allowed (inactive elements); negative
+// weights fail with *WeightError and an all-zero vector with
+// *ZeroTotalWeightError.
 //
 // The cut points are decided by a sequential O(n) walk (SplitPoints); only
 // the assignment fill fans out across goroutines, so the result is
@@ -141,16 +200,9 @@ func SplitContiguous(weights []int64, nparts int) ([]int32, error) {
 	if nparts > n {
 		return nil, fmt.Errorf("partition: cannot split %d items into %d non-empty parts", n, nparts)
 	}
-	uniform := true
-	var total int64
-	for _, w := range weights {
-		if w <= 0 {
-			return nil, fmt.Errorf("partition: non-positive weight %d", w)
-		}
-		if w != weights[0] {
-			uniform = false
-		}
-		total += w
+	total, uniform, err := validateWeights(weights)
+	if err != nil {
+		return nil, err
 	}
 	assign := make([]int32, n)
 	if uniform {
@@ -185,7 +237,8 @@ const splitFillChunk = 1 << 15
 
 // SplitPoints returns the starting position of every part's segment for the
 // weighted contiguous split of SplitContiguous (starts[0] is always 0).
-// Weights must be positive and 1 <= nparts <= len(weights).
+// Weights must be non-negative with a positive total, and
+// 1 <= nparts <= len(weights).
 func SplitPoints(weights []int64, nparts int) ([]int, error) {
 	n := len(weights)
 	if nparts < 1 {
@@ -194,12 +247,9 @@ func SplitPoints(weights []int64, nparts int) ([]int, error) {
 	if nparts > n {
 		return nil, fmt.Errorf("partition: cannot split %d items into %d non-empty parts", n, nparts)
 	}
-	var total int64
-	for _, w := range weights {
-		if w <= 0 {
-			return nil, fmt.Errorf("partition: non-positive weight %d", w)
-		}
-		total += w
+	total, _, err := validateWeights(weights)
+	if err != nil {
+		return nil, err
 	}
 	return splitPoints(weights, nparts, total), nil
 }

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -189,11 +190,23 @@ func TestSplitContiguousErrors(t *testing.T) {
 	if _, err := SplitContiguous([]int64{1, 2}, 3); err == nil {
 		t.Error("more parts than items accepted")
 	}
-	if _, err := SplitContiguous([]int64{1, 0}, 2); err == nil {
-		t.Error("zero weight accepted")
-	}
 	if _, err := SplitContiguous([]int64{1}, 0); err == nil {
 		t.Error("nparts=0 accepted")
+	}
+	// Individual zero weights are legal (inactive elements) as long as the
+	// total is positive; the typed errors cover the two illegal shapes.
+	if assign, err := SplitContiguous([]int64{1, 0}, 2); err != nil {
+		t.Errorf("zero weight rejected: %v", err)
+	} else if assign[0] != 0 || assign[1] != 1 {
+		t.Errorf("zero-weight split = %v, want [0 1]", assign)
+	}
+	var we *WeightError
+	if _, err := SplitContiguous([]int64{1, -2}, 2); !errors.As(err, &we) {
+		t.Errorf("negative weight: got %v, want *WeightError", err)
+	}
+	var ze *ZeroTotalWeightError
+	if _, err := SplitContiguous([]int64{0, 0}, 2); !errors.As(err, &ze) {
+		t.Errorf("all-zero weights: got %v, want *ZeroTotalWeightError", err)
 	}
 }
 

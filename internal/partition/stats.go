@@ -17,6 +17,16 @@ type Stats struct {
 	// the weighted vertex count of each part.
 	LBNelemd float64
 
+	// PartWeights is the total element weight per part under the explicit
+	// weight vector passed to ComputeStatsWeighted; nil when the stats were
+	// computed without one (ComputeStats).
+	PartWeights []int64
+	// LBWeighted is equation (1) applied to PartWeights — the computational
+	// load balance under explicit element weights. Without an explicit
+	// weight vector it equals LBNelemd (the graph's vertex weights), so the
+	// all-equal-weights case is indistinguishable from the unweighted one.
+	LBWeighted float64
+
 	// Spcv is the single-processor communication volume per part: the
 	// weighted volume of cut edges incident to the part (what each
 	// processor must exchange every time-step).
@@ -79,6 +89,7 @@ func ComputeStats(g *graph.Graph, p *Partition) (Stats, error) {
 	st.Nelemd = p.Counts()
 	weighted := p.WeightedCounts(g.VertexWeight)
 	st.LBNelemd = LoadBalanceInt64(weighted)
+	st.LBWeighted = st.LBNelemd
 
 	st.Spcv = make([]int64, p.NumParts())
 	distinct := make(map[int32]bool, 8)
@@ -135,6 +146,36 @@ func ComputeStats(g *graph.Graph, p *Partition) (Stats, error) {
 			st.MaxComponents = c
 		}
 	}
+	return st, nil
+}
+
+// ComputeStatsWeighted is ComputeStats under an explicit element weight
+// vector (indexed like the graph's vertices): PartWeights receives the total
+// weight per part and LBWeighted the equation-(1) balance over it, replacing
+// the graph-vertex-weight default. weights may be nil, in which case the
+// result is identical to ComputeStats. Negative weights fail with
+// *WeightError and an all-zero vector with *ZeroTotalWeightError — the same
+// validation the weighted curve split applies, so a partition and its stats
+// can never disagree about weight legality.
+func ComputeStatsWeighted(g *graph.Graph, p *Partition, weights []int64) (Stats, error) {
+	st, err := ComputeStats(g, p)
+	if err != nil {
+		return Stats{}, err
+	}
+	if weights == nil {
+		return st, nil
+	}
+	if len(weights) != p.NumVertices() {
+		return Stats{}, fmt.Errorf("partition: %d weights for %d vertices", len(weights), p.NumVertices())
+	}
+	if _, _, err := validateWeights(weights); err != nil {
+		return Stats{}, err
+	}
+	st.PartWeights = make([]int64, p.NumParts())
+	for v, w := range weights {
+		st.PartWeights[p.Part(v)] += w
+	}
+	st.LBWeighted = LoadBalanceInt64(st.PartWeights)
 	return st, nil
 }
 

@@ -1,0 +1,129 @@
+package partition
+
+import (
+	"errors"
+	"testing"
+)
+
+// lcgWeights is a deterministic non-uniform weight stream for the stats
+// tests: values in [0, 32) with an occasional zero (inactive element).
+func lcgWeights(n int, seed uint64) []int64 {
+	w := make([]int64, n)
+	x := seed*6364136223846793005 + 1442695040888963407
+	for i := range w {
+		x = x*6364136223846793005 + 1442695040888963407
+		w[i] = int64((x >> 33) % 32)
+	}
+	w[0] = 1 // guarantee a positive total
+	return w
+}
+
+// TestComputeStatsWeightedIndependentRecount checks the weighted fields
+// against a from-scratch recomputation off the raw assignment: PartWeights
+// must be the exact per-part weight totals and LBWeighted equation (1) over
+// them, regardless of how the partition was produced.
+func TestComputeStatsWeightedIndependentRecount(t *testing.T) {
+	g := buildMeshGraph(t, 4)
+	k := g.NumVertices()
+	w := lcgWeights(k, 7)
+
+	// A deliberately lopsided partition, so the weighted and unweighted
+	// balances genuinely differ.
+	p := New(k, 5)
+	for v := 0; v < k; v++ {
+		p.SetPart(v, (v*v)%5)
+	}
+	st, err := ComputeStatsWeighted(g, p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := make([]int64, 5)
+	for v := 0; v < k; v++ {
+		totals[p.Part(v)] += w[v]
+	}
+	for q, want := range totals {
+		if st.PartWeights[q] != want {
+			t.Errorf("part %d: PartWeights=%d, recount %d", q, st.PartWeights[q], want)
+		}
+	}
+	if lb := LoadBalanceInt64(totals); st.LBWeighted != lb {
+		t.Errorf("LBWeighted=%g, recount %g", st.LBWeighted, lb)
+	}
+	// The unweighted fields must be untouched by the weight vector.
+	plain, err := ComputeStats(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LBNelemd != plain.LBNelemd || st.EdgeCut != plain.EdgeCut || st.TotalCommVolume != plain.TotalCommVolume {
+		t.Error("weighted stats changed the unweighted metrics")
+	}
+}
+
+// TestComputeStatsWeightedAllEqual pins the invariant that an all-equal
+// weight vector is indistinguishable from the unweighted computation:
+// LBWeighted collapses to LBNelemd and PartWeights is the element count
+// scaled by the common weight.
+func TestComputeStatsWeightedAllEqual(t *testing.T) {
+	g := buildMeshGraph(t, 4)
+	k := g.NumVertices()
+	const c = 7
+	w := make([]int64, k)
+	for i := range w {
+		w[i] = c
+	}
+	p := New(k, 6)
+	for v := 0; v < k; v++ {
+		p.SetPart(v, v%6)
+	}
+	st, err := ComputeStatsWeighted(g, p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LBWeighted != st.LBNelemd {
+		t.Errorf("all-equal weights: LBWeighted=%g != LBNelemd=%g", st.LBWeighted, st.LBNelemd)
+	}
+	for q, n := range st.Nelemd {
+		if st.PartWeights[q] != int64(n)*c {
+			t.Errorf("part %d: PartWeights=%d, want %d elements * %d", q, st.PartWeights[q], n, c)
+		}
+	}
+	// And with no weight vector at all, LBWeighted still mirrors LBNelemd
+	// (nil means uniform).
+	st0, err := ComputeStatsWeighted(g, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st0.LBWeighted != st0.LBNelemd || st0.PartWeights != nil {
+		t.Error("nil weights: want LBWeighted == LBNelemd and nil PartWeights")
+	}
+}
+
+// TestComputeStatsWeightedErrors pins the typed-error contract on the stats
+// side: length mismatch, negative entries and an all-zero vector are all
+// rejected before any metric is computed.
+func TestComputeStatsWeightedErrors(t *testing.T) {
+	g := buildMeshGraph(t, 2)
+	k := g.NumVertices()
+	p := New(k, 2)
+	for v := 0; v < k; v++ {
+		p.SetPart(v, v%2)
+	}
+	if _, err := ComputeStatsWeighted(g, p, []int64{1, 2, 3}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := make([]int64, k)
+	for i := range bad {
+		bad[i] = 1
+	}
+	bad[k/2] = -4
+	var we *WeightError
+	if _, err := ComputeStatsWeighted(g, p, bad); !errors.As(err, &we) {
+		t.Errorf("negative weight: got %v, want *WeightError", err)
+	} else if we.Index != k/2 || we.Weight != -4 {
+		t.Errorf("WeightError points at (%d, %d), want (%d, -4)", we.Index, we.Weight, k/2)
+	}
+	var ze *ZeroTotalWeightError
+	if _, err := ComputeStatsWeighted(g, p, make([]int64, k)); !errors.As(err, &ze) {
+		t.Errorf("all-zero weights: got %v, want *ZeroTotalWeightError", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sfccube/internal/metis"
 	"sfccube/internal/partition"
 	"sfccube/internal/sfc"
+	"sfccube/internal/weights"
 )
 
 // Strategy names one link of the partition fallback chain.
@@ -140,6 +141,16 @@ type FallbackSpec struct {
 	// strategies; when nil they are built from Ne on first use.
 	Graph *graph.Graph
 	Mesh  *mesh.Mesh
+	// Weights optionally assigns a computation weight to every element
+	// (indexed by mesh.ElemID, length 6*Ne*Ne). Every chain link then
+	// balances total weight instead of element counts: the SFC strategies
+	// cut the curve into near-equal-weight segments, the METIS strategies
+	// receive the weights as graph vertex weights (overwriting any weights
+	// already on Graph, so the chain and the acceptance check can never
+	// disagree about the load model), and checkBalance gates on the
+	// weighted balance. Nil means uniform cost. Negative or all-zero
+	// weights fail the chain with the partition layer's typed errors.
+	Weights []int64
 
 	// explicit marks a spec produced by NewFallbackSpec: its Seed, MaxLB
 	// and SeedRetries are deliberate values, never rewritten.
@@ -207,6 +218,16 @@ func PartitionWithFallback(ctx context.Context, spec FallbackSpec) (*FallbackRes
 	if spec.Ne < 1 || spec.NProcs < 1 || spec.NProcs > k {
 		return nil, fmt.Errorf("resilience: cannot split Ne=%d (%d elements) into %d parts", spec.Ne, k, spec.NProcs)
 	}
+	if spec.Weights != nil {
+		// Fail fast with the partition layer's typed errors before any
+		// strategy runs: a malformed weight vector dooms every link alike.
+		if len(spec.Weights) != k {
+			return nil, fmt.Errorf("resilience: %d weights for %d elements", len(spec.Weights), k)
+		}
+		if err := partition.ValidateWeights(spec.Weights); err != nil {
+			return nil, err
+		}
+	}
 	chain := spec.Chain
 	if chain == nil {
 		chain = DefaultChain
@@ -236,7 +257,7 @@ func PartitionWithFallback(ctx context.Context, spec FallbackSpec) (*FallbackRes
 	var attempts []Attempt
 	accept := func(strat Strategy, s int64, p *partition.Partition, err error) *FallbackResult {
 		if err == nil {
-			err = checkBalance(strat, p, maxLB)
+			err = checkBalance(strat, p, maxLB, spec.Weights)
 		}
 		if err == nil {
 			return &FallbackResult{Partition: p, Strategy: strat, Seed: s, Attempts: attempts}
@@ -281,7 +302,7 @@ func PartitionWithFallback(ctx context.Context, spec FallbackSpec) (*FallbackRes
 				}
 			}
 		case StrategySFC:
-			res, err := core.PartitionCubedSphere(core.Config{Ne: spec.Ne, NProcs: spec.NProcs})
+			res, err := core.PartitionCubedSphere(core.Config{Ne: spec.Ne, NProcs: spec.NProcs, Weights: spec.Weights})
 			if err != nil {
 				if _, _, ferr := sfc.Factor(spec.Ne); ferr != nil {
 					err = &UnsupportedNeError{Ne: spec.Ne, Cause: ferr}
@@ -305,7 +326,11 @@ func PartitionWithFallback(ctx context.Context, spec FallbackSpec) (*FallbackRes
 	return nil, &ExhaustedError{Attempts: attempts}
 }
 
-func checkBalance(strat Strategy, p *partition.Partition, maxLB float64) error {
+// checkBalance gates a candidate partition on emptiness and load balance.
+// With an element weight vector the balance is equation (1) over per-part
+// weight totals — the quantity the weighted strategies actually optimise —
+// otherwise over element counts.
+func checkBalance(strat Strategy, p *partition.Partition, maxLB float64, weights []int64) error {
 	counts := p.Counts()
 	empty := 0
 	for _, c := range counts {
@@ -319,32 +344,54 @@ func checkBalance(strat Strategy, p *partition.Partition, maxLB float64) error {
 	if maxLB < 0 {
 		return nil
 	}
-	if lb := partition.LoadBalanceInts(counts); lb > maxLB {
+	var lb float64
+	if weights != nil {
+		partWeights := make([]int64, p.NumParts())
+		for v := 0; v < p.NumVertices(); v++ {
+			partWeights[p.Part(v)] += weights[v]
+		}
+		lb = partition.LoadBalanceInt64(partWeights)
+	} else {
+		lb = partition.LoadBalanceInts(counts)
+	}
+	if lb > maxLB {
 		return &BalanceError{Strategy: strat, LB: lb, Limit: maxLB}
 	}
 	return nil
 }
 
 // metisGraph lazily builds (and caches) the dual graph for the METIS
-// strategies.
+// strategies. A weighted spec installs its weights as the graph's vertex
+// weights — including on a caller-provided Graph — so the multilevel
+// partitioners balance the same load model the curve strategies split on.
 func (spec *FallbackSpec) metisGraph() (*graph.Graph, error) {
-	if spec.Graph != nil {
-		return spec.Graph, nil
-	}
-	m := spec.Mesh
-	if m == nil {
+	g := spec.Graph
+	if g == nil {
+		m := spec.Mesh
+		if m == nil {
+			var err error
+			m, err = mesh.New(spec.Ne)
+			if err != nil {
+				return nil, err
+			}
+			spec.Mesh = m
+		}
 		var err error
-		m, err = mesh.New(spec.Ne)
+		g, err = graph.FromMesh(m, graph.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
-		spec.Mesh = m
+		spec.Graph = g
 	}
-	g, err := graph.FromMesh(m, graph.DefaultOptions())
-	if err != nil {
-		return nil, err
+	if spec.Weights != nil {
+		w32, err := weights.Int32(spec.Weights)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.SetVertexWeights(w32); err != nil {
+			return nil, err
+		}
 	}
-	spec.Graph = g
 	return g, nil
 }
 
@@ -361,7 +408,7 @@ func serpentinePartition(spec FallbackSpec) (*partition.Partition, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.PartitionCurve(cc, spec.NProcs, nil)
+	return core.PartitionCurve(cc, spec.NProcs, spec.Weights)
 }
 
 // sleepBetweenRetries is sleepCtx, indirected so the backoff-determinism

@@ -1,0 +1,78 @@
+package scale
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"sfccube/internal/amr"
+	"sfccube/internal/experiments"
+	"sfccube/internal/sfc"
+	"sfccube/internal/weights"
+)
+
+// TestForestCurveOrderDeterministicAcrossGOMAXPROCS pins the adaptive-mesh
+// tree curve: the parallel leaf-key computation, the weighted curve split
+// and the level-scaled weight generation must all be byte-identical at any
+// GOMAXPROCS. This is the AMR arm of the CI race job.
+func TestForestCurveOrderDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	const ne, maxLevel, nparts = 8, 2, 24
+	spec, err := weights.Parse("cfl:amp=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]int, []int64, []int32) {
+		f, err := amr.NewForest(ne, maxLevel, func(l amr.Leaf) bool { return (l.X+l.Y)%2 == 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := f.CurveOrder(sfc.PeanoFirst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := f.LeafWeights(spec)
+		p, err := f.PartitionCurve(sfc.PeanoFirst, nparts, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return order, w, append([]int32(nil), p.Assignment()...)
+	}
+	runtime.GOMAXPROCS(1)
+	refOrder, refW, refAssign := run()
+	for _, procs := range []int{4, 1, 4} {
+		runtime.GOMAXPROCS(procs)
+		order, w, assign := run()
+		if !reflect.DeepEqual(order, refOrder) {
+			t.Fatalf("GOMAXPROCS=%d: forest curve order diverges", procs)
+		}
+		if !reflect.DeepEqual(w, refW) {
+			t.Fatalf("GOMAXPROCS=%d: leaf weights diverge", procs)
+		}
+		if !reflect.DeepEqual(assign, refAssign) {
+			t.Fatalf("GOMAXPROCS=%d: weighted forest assignment diverges", procs)
+		}
+	}
+}
+
+// TestWeightedSweepDeterministicAcrossGOMAXPROCS pins the weighted
+// experiments sweep end to end: weight generation, weighted curve cuts and
+// the METIS runs underneath every (method, nproc) cell must reproduce the
+// same series values at any GOMAXPROCS.
+func TestWeightedSweepDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	sweep := func() *experiments.Figure {
+		fig, err := experiments.WeightedSweep(8, 48, 1, "cfl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig
+	}
+	runtime.GOMAXPROCS(1)
+	ref := sweep()
+	runtime.GOMAXPROCS(4)
+	got := sweep()
+	if !reflect.DeepEqual(got.Lines, ref.Lines) {
+		t.Fatal("weighted sweep diverges between GOMAXPROCS 1 and 4")
+	}
+}

@@ -102,6 +102,7 @@ func parseRequest(r *http.Request) (Request, error) {
 		return req, err
 	}
 	req.Method = q.Get("method")
+	req.WeightsSpec = q.Get("weights_spec")
 	if q.Has("seed") {
 		v, err := strconv.ParseInt(q.Get("seed"), 10, 64)
 		if err != nil {

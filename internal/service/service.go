@@ -17,6 +17,7 @@ import (
 	"sfccube/internal/obs"
 	"sfccube/internal/partition"
 	"sfccube/internal/resilience"
+	"sfccube/internal/weights"
 )
 
 // Request is the wire form of a partition request. Seed and MaxLB are
@@ -46,6 +47,13 @@ type Request struct {
 	// degraded). The deadline never fails a request — it only lowers the
 	// quality of the answer.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// WeightsSpec selects a per-element computation-weight generator in the
+	// internal/weights grammar ("cfl", "hv:amp=16,m=6", ...); every chain
+	// link then balances total element weight instead of counts. Absent or
+	// "uniform" means unit cost. The spec is normalised to its canonical
+	// spelling before it enters the cache key, so equivalent spellings
+	// share one entry.
+	WeightsSpec string `json:"weights_spec,omitempty"`
 }
 
 // canonicalRequest is a Request after validation and normalization — the
@@ -58,14 +66,17 @@ type canonicalRequest struct {
 	Method string
 	Seed   int64
 	MaxLB  float64
+	// Weights is the canonical weight-spec spelling; "" means uniform (the
+	// absent and "uniform" spellings both canonicalize to it).
+	Weights string
 }
 
 // key returns the content address: the SHA-256 of the canonical encoding.
 func (c canonicalRequest) key() string {
 	h := sha256.Sum256([]byte(fmt.Sprintf(
-		"ne=%d&nparts=%d&method=%s&seed=%d&max_lb=%s",
+		"ne=%d&nparts=%d&method=%s&seed=%d&max_lb=%s&weights=%s",
 		c.Ne, c.NParts, c.Method, c.Seed,
-		strconv.FormatFloat(c.MaxLB, 'g', -1, 64))))
+		strconv.FormatFloat(c.MaxLB, 'g', -1, 64), c.Weights)))
 	return hex.EncodeToString(h[:])
 }
 
@@ -105,6 +116,9 @@ type Response struct {
 	NParts int    `json:"nparts"`
 	Method string `json:"method"`
 	Seed   int64  `json:"seed"`
+	// WeightsSpec echoes the canonical weight-spec spelling; absent on
+	// unit-cost requests.
+	WeightsSpec string `json:"weights_spec,omitempty"`
 	// Strategy is the fallback-chain link that produced the partition
 	// (equal to the requested method unless the chain degraded past it).
 	Strategy string `json:"strategy"`
@@ -179,6 +193,12 @@ type Config struct {
 	// BreakerCooldown is how long a tripped breaker stays open before
 	// admitting a half-open probe (default 2s).
 	BreakerCooldown time.Duration
+	// DefaultWeights is the weight spec (internal/weights grammar) applied
+	// to requests that carry no weights_spec — the server's default load
+	// model. Empty means uniform cost. The value must parse; partsrv
+	// validates it at startup. An explicit "uniform" on a request always
+	// overrides it back to unit cost.
+	DefaultWeights string
 	// Registry receives the service metrics; nil disables them (nil-safe
 	// handles).
 	Registry *obs.Registry
@@ -343,7 +363,19 @@ func (s *Service) canonicalize(req Request) (canonicalRequest, error) {
 	if maxLB < 0 {
 		maxLB = -1 // every "accept anything" spelling is the same content
 	}
-	return canonicalRequest{Ne: req.Ne, NParts: req.NParts, Method: method, Seed: seed, MaxLB: maxLB}, nil
+	rawSpec := req.WeightsSpec
+	if rawSpec == "" {
+		rawSpec = s.cfg.DefaultWeights
+	}
+	wspec, err := weights.Parse(rawSpec)
+	if err != nil {
+		return canonicalRequest{}, &BadRequestError{Reason: "weights_spec: " + err.Error()}
+	}
+	ws := ""
+	if !wspec.IsUniform() {
+		ws = wspec.String()
+	}
+	return canonicalRequest{Ne: req.Ne, NParts: req.NParts, Method: method, Seed: seed, MaxLB: maxLB, Weights: ws}, nil
 }
 
 // Partition answers req: from the cache when possible, otherwise by joining
@@ -480,9 +512,27 @@ func (s *Service) compute(ctx context.Context, canon canonicalRequest, key strin
 	if err != nil {
 		return computed{}, err
 	}
+	var w []int64
+	if canon.Weights != "" {
+		// The canonical spelling always re-parses; the generated vector is a
+		// pure function of (mesh, spec), so it belongs in the cached content.
+		wspec, err := weights.Parse(canon.Weights)
+		if err != nil {
+			return computed{}, err
+		}
+		w = wspec.Generate(m)
+		w32, err := weights.Int32(w)
+		if err != nil {
+			return computed{}, err
+		}
+		if err := g.SetVertexWeights(w32); err != nil {
+			return computed{}, err
+		}
+	}
 	spec := resilience.NewFallbackSpec(canon.Ne, canon.NParts)
 	spec.Seed = canon.Seed
 	spec.MaxLB = canon.MaxLB
+	spec.Weights = w
 	chain := methodChains[canon.Method]
 	if large {
 		s.large.Inc()
@@ -500,7 +550,7 @@ func (s *Service) compute(ctx context.Context, canon canonicalRequest, key strin
 		return computed{}, err
 	}
 	s.recordBreakers(probing, res, elapsed, nil)
-	st, err := partition.ComputeStats(g, res.Partition)
+	st, err := partition.ComputeStatsWeighted(g, res.Partition, w)
 	if err != nil {
 		return computed{}, err
 	}
@@ -509,7 +559,7 @@ func (s *Service) compute(ctx context.Context, canon canonicalRequest, key strin
 
 	resp := Response{
 		Key: key, Ne: canon.Ne, NParts: canon.NParts, Method: canon.Method,
-		Seed: res.Seed, Strategy: string(res.Strategy),
+		Seed: res.Seed, Strategy: string(res.Strategy), WeightsSpec: canon.Weights,
 		Stats: st, Assignment: res.Partition.Assignment(),
 		BreakerSkipped: skipped,
 	}

@@ -69,6 +69,7 @@ func hamiltonianFacePaths() [][mesh.NumFaces]mesh.Face {
 // curve into equal contiguous segments yields the SFC partition.
 type CubeCurve struct {
 	m     *mesh.Mesh
+	base  *Curve   // the per-face ordering being chained
 	sched Schedule // nil when built from a baseline ordering
 	name  string
 	path  [mesh.NumFaces]mesh.Face
@@ -95,6 +96,27 @@ func NewCubeCurve(m *mesh.Mesh, sched Schedule) (*CubeCurve, error) {
 		return nil, err
 	}
 	cc.sched = sched
+	// At Ne=1 every face is a single cell, so the orientation search above is
+	// vacuous (entry == exit under any transform) and would pick arbitrary
+	// face orientations. Those orientations are observable through ElemXF,
+	// whose contract is that refining the schedule continues the global
+	// curve; solve them against the one-level refinement instead, where the
+	// motif endpoints are distinguishable, so the Ne=1 curve agrees with
+	// what its own refinement chooses.
+	if m.Ne() == 1 {
+		m2, err := mesh.New(2)
+		if err != nil {
+			return nil, err
+		}
+		refined := append(append(Schedule{}, sched...), Hilbert)
+		cc2, err := NewCubeCurveFromBase(m2, Generate(refined), refined.String())
+		if err != nil {
+			return nil, err
+		}
+		cc.path = cc2.path
+		cc.xf = cc2.xf
+		cc.build(cc.base)
+	}
 	return cc, nil
 }
 
@@ -109,7 +131,7 @@ func NewCubeCurveFromBase(m *mesh.Mesh, base *Curve, name string) (*CubeCurve, e
 		return nil, fmt.Errorf("sfc: base ordering covers a %dx%d face but mesh has Ne=%d",
 			base.Side(), base.Side(), m.Ne())
 	}
-	cc := &CubeCurve{m: m, name: name}
+	cc := &CubeCurve{m: m, base: base, name: name}
 	if !cc.solveOrientations(base) {
 		// Cannot happen for a cube (see doc comment), but fail loudly
 		// rather than return a broken curve.
@@ -264,6 +286,25 @@ func (cc *CubeCurve) Order() []mesh.ElemID { return cc.order }
 
 // FacePath returns the order in which the curve traverses the cube faces.
 func (cc *CubeCurve) FacePath() [mesh.NumFaces]mesh.Face { return cc.path }
+
+// FaceXF returns the orientation applied to the per-face base ordering on
+// face f.
+func (cc *CubeCurve) FaceXF(f mesh.Face) XF { return cc.xf[f] }
+
+// ElemXF returns the accumulated curve orientation at element e: the
+// transform under which refinement of e (appending levels to the schedule)
+// would continue the global curve. Because dihedral transforms distribute
+// over block decomposition, the face orientation composed with the base
+// curve's leaf orientation is exactly the transform the refined global curve
+// would accumulate at e. Only meaningful for the Hilbert/Peano family; base
+// orderings built from serpentine or Morton curves carry Identity leaf
+// transforms.
+func (cc *CubeCurve) ElemXF(e mesh.ElemID) XF {
+	el := cc.m.Elem(e)
+	t := cc.xf[el.Face]
+	p := t.Inverse().Apply(Point{X: el.I, Y: el.J}, cc.base.Side())
+	return t.Compose(cc.base.LeafXF(cc.base.Rank(p.X, p.Y)))
+}
 
 // IsContinuous reports whether consecutive elements on the global curve are
 // edge-adjacent on the cubed-sphere (including across cube edges).

@@ -139,3 +139,44 @@ func mustMesh(tb testing.TB, ne int) *mesh.Mesh {
 	}
 	return m
 }
+
+// TestNe1OrientationsMatchRefinement pins the Ne=1 fix: with a single cell
+// per face the orientation search is vacuous (entry == exit under every
+// transform), so the curve must adopt the face path and orientations its own
+// one-level refinement chooses — otherwise ElemXF's contract (refining the
+// schedule continues the global curve) silently breaks, which is exactly how
+// tree-SFC orders over an Ne=1 adaptive forest went wrong.
+func TestNe1OrientationsMatchRefinement(t *testing.T) {
+	for ord := Order(0); ord < 3; ord++ {
+		m1, err := mesh.New(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := ScheduleFor(1, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, err := NewCubeCurve(m1, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := mesh.New(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := NewCubeCurve(m2, append(append(Schedule{}, sched...), Hilbert))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c1.FacePath() != c2.FacePath() {
+			t.Errorf("order %v: Ne=1 face path %v differs from its refinement's %v",
+				ord, c1.FacePath(), c2.FacePath())
+		}
+		for f := mesh.Face(0); f < mesh.NumFaces; f++ {
+			if c1.FaceXF(f) != c2.FaceXF(f) {
+				t.Errorf("order %v face %d: Ne=1 orientation %v, refinement uses %v",
+					ord, f, c1.FaceXF(f), c2.FaceXF(f))
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package weights
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sfccube/internal/mesh"
+)
+
+func TestParseCanonical(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"", "uniform"},
+		{"uniform", "uniform"},
+		{"cfl", "cfl"},
+		{"cfl:amp=8", "cfl"}, // default amp spelled out
+		{"cfl:amp=16", "cfl:amp=16"},
+		{"cfl:amp=16,alpha=0.5", "cfl:amp=16,alpha=0.5"},
+		{"CFL:Alpha=0.5, Amp=16", "cfl:amp=16,alpha=0.5"}, // case/space/order normalise
+		{"hv", "hv"},
+		{"hyperviscosity", "hv"},
+		{"hv:m=4", "hv"}, // default wavenumber
+		{"hv:amp=16,m=6", "hv:amp=16,m=6"},
+	}
+	for _, c := range cases {
+		s, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := s.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+		// Idempotence: the canonical spelling parses back to itself.
+		s2, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s.String(), err)
+		}
+		if s2 != s {
+			t.Errorf("Parse(%q) = %+v, want %+v (not idempotent)", s.String(), s2, s)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"vorticity",           // unknown kind
+		"uniform:amp=2",       // uniform takes no params
+		"cfl:amp",             // not key=value
+		"cfl:speed=3",         // unknown param
+		"cfl:amp=0.5",         // amp < 1
+		"cfl:amp=1e9",         // amp > MaxAmp
+		"cfl:amp=nan",         // non-finite
+		"cfl:alpha=inf",       // non-finite
+		"cfl:m=4",             // m only applies to hv
+		"hv:alpha=1",          // alpha only applies to cfl
+		"hv:m=0",              // wavenumber out of range
+		"hv:m=65",             // wavenumber out of range
+		"hv:m=four",           // not an int
+		"cfl:amp=sixteen",     // not a float
+		"hv:amp=16,m=6,zed=1", // unknown trailing param
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		} else if _, ok := err.(*ParseError); !ok {
+			t.Errorf("Parse(%q): error %T, want *ParseError", in, err)
+		}
+	}
+}
+
+func TestGenerateBoundsAndShape(t *testing.T) {
+	m, err := mesh.New(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, specStr := range []string{"cfl", "hv", "cfl:amp=32", "hv:amp=16,m=6"} {
+		s, err := Parse(specStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := s.Generate(m)
+		if len(w) != m.NumElems() {
+			t.Fatalf("%s: %d weights for %d elements", specStr, len(w), m.NumElems())
+		}
+		amp := int64(math.Round(s.Amp))
+		min, max := w[0], w[0]
+		for _, v := range w {
+			if v < 1 || v > amp {
+				t.Fatalf("%s: weight %d outside [1, %d]", specStr, v, amp)
+			}
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if min == max {
+			t.Errorf("%s: degenerate constant weights (%d); proxy should vary over the sphere", specStr, min)
+		}
+		// Pure function of (mesh, spec): repeated generation is identical.
+		if !reflect.DeepEqual(w, s.Generate(m)) {
+			t.Errorf("%s: Generate is not deterministic", specStr)
+		}
+	}
+}
+
+func TestGenerateUniformIsNil(t *testing.T) {
+	m, err := mesh.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := s.Generate(m); w != nil {
+		t.Fatalf("uniform spec generated %d weights, want nil", len(w))
+	}
+	if !s.IsUniform() {
+		t.Fatal("uniform spec not IsUniform")
+	}
+}
+
+func TestActivityRange(t *testing.T) {
+	m, err := mesh.New(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, specStr := range []string{"cfl", "hv:m=3", "hv:m=8"} {
+		s, err := Parse(specStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < m.NumElems(); e++ {
+			a := s.Activity(m.ElemCenter(mesh.ElemID(e)))
+			if a < 0 || a > 1+1e-12 || math.IsNaN(a) {
+				t.Fatalf("%s: activity %g outside [0,1] at element %d", specStr, a, e)
+			}
+		}
+	}
+}
+
+func TestInt32Conversion(t *testing.T) {
+	got, err := Int32([]int64{0, 1, math.MaxInt32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int32{0, 1, math.MaxInt32}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Int32 = %v, want %v", got, want)
+	}
+	if _, err := Int32([]int64{math.MaxInt32 + 1}); err == nil {
+		t.Fatal("Int32 accepted an overflowing weight")
+	}
+	if _, err := Int32([]int64{-1}); err == nil {
+		t.Fatal("Int32 accepted a negative weight")
+	}
+	if w, err := Int32(nil); err != nil || w != nil {
+		t.Fatalf("Int32(nil) = %v, %v, want nil, nil", w, err)
+	}
+}
